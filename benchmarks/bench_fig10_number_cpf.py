@@ -1,0 +1,68 @@
+"""Fig. 10 — community numbers per query and CPF (Eq. 4).
+
+* Fig. 10(a): PCS returns more communities per query than ACQ / Global /
+  Local, because only PCS enumerates every maximal shared *subtree* (one
+  community per semantic focus); the baselines return at most a handful.
+* Fig. 10(b): CPF — the fraction of members whose P-trees cover the query's
+  P-tree nodes — is highest for the profile-aware methods.
+"""
+
+from repro.baselines import acq_query, global_community_k, local_community
+from repro.bench import Table, save_tables
+from repro.core import pcs
+from repro.metrics import average_community_count, community_ptree_frequency
+
+from conftest import DEFAULT_K
+
+
+def test_fig10_community_numbers_and_cpf(benchmark, datasets, workloads):
+    number_table = Table(
+        "Fig. 10(a) — average communities per query",
+        ["dataset", "PCS", "ACQ", "Global", "Local"],
+    )
+    cpf_table = Table(
+        "Fig. 10(b) — CPF per method (higher = better coverage of T(q))",
+        ["dataset", "PCS", "ACQ", "Global", "Local"],
+    )
+    summary = {}
+    for name, pg in datasets.items():
+        counts = {m: [] for m in ("PCS", "ACQ", "Global", "Local")}
+        cpf = {m: [] for m in ("PCS", "ACQ", "Global", "Local")}
+        for q in workloads[name]:
+            per_method = {
+                "PCS": [c.vertices for c in pcs(pg, q, DEFAULT_K)],
+                "ACQ": [c.vertices for c in acq_query(pg, q, DEFAULT_K)],
+            }
+            g = global_community_k(pg.graph, q, DEFAULT_K)
+            per_method["Global"] = [g] if g else []
+            l = local_community(pg.graph, q, DEFAULT_K)
+            per_method["Local"] = [l] if l else []
+            for method, communities in per_method.items():
+                counts[method].append(communities)
+                if communities:
+                    cpf[method].append(
+                        community_ptree_frequency(pg, q, communities)
+                    )
+        number_row = [name]
+        cpf_row = [name]
+        summary[name] = {}
+        for method in ("PCS", "ACQ", "Global", "Local"):
+            avg_count = average_community_count(counts[method])
+            avg_cpf = sum(cpf[method]) / len(cpf[method]) if cpf[method] else 0.0
+            summary[name][method] = {"count": avg_count, "cpf": avg_cpf}
+            number_row.append(round(avg_count, 2))
+            cpf_row.append(round(avg_cpf, 3))
+        number_table.add_row(*number_row)
+        cpf_table.add_row(*cpf_row)
+        # Fig. 10(a)'s claim: PCS finds at least as many communities.
+        assert summary[name]["PCS"]["count"] >= summary[name]["ACQ"]["count"] - 1e-9
+        assert summary[name]["PCS"]["count"] >= summary[name]["Global"]["count"] - 1e-9
+        # Fig. 10(b)'s claim: profile-aware beats topology-only on CPF.
+        assert summary[name]["PCS"]["cpf"] >= summary[name]["Global"]["cpf"] - 1e-9
+    number_table.show()
+    cpf_table.show()
+    save_tables("fig10_number_cpf", [number_table, cpf_table], extra={"summary": summary})
+
+    pg = datasets["acmdl"]
+    q = workloads["acmdl"].queries[0]
+    benchmark(lambda: community_ptree_frequency(pg, q, [c.vertices for c in pcs(pg, q, DEFAULT_K)]))

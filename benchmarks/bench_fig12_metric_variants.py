@@ -1,0 +1,81 @@
+"""Fig. 12 — comparing profile-cohesiveness metric definitions (§5.3).
+
+Runs the four candidate metrics — (a) common nodes, (b) common paths,
+(c) common subtree (the PCS definition), (d) similarity threshold — on the
+ACMDL and PubMed analogues and scores CPS / LDR / community number / CPF.
+Expected shape: metric (c) dominates or matches every other metric on the
+quality indices, which is the paper's justification for the PCS definition.
+"""
+
+from repro.bench import Table, save_tables
+from repro.core import METRIC_VARIANTS
+from repro.metrics import (
+    community_pairwise_similarity,
+    community_ptree_frequency,
+    level_diversity_ratio,
+)
+
+from conftest import DEFAULT_K
+
+DATASETS = ("acmdl", "pubmed")
+
+
+def test_fig12_metric_variant_comparison(benchmark, datasets, workloads):
+    tables = {
+        "cps": Table("Fig. 12(a) — CPS per metric", ["dataset", "a:nodes", "b:paths", "c:subtree", "d:similarity"]),
+        "ldr": Table("Fig. 12(b) — LDR vs metric (c)", ["dataset", "a:nodes", "b:paths", "c:subtree", "d:similarity"]),
+        "num": Table("Fig. 12(c) — communities per query", ["dataset", "a:nodes", "b:paths", "c:subtree", "d:similarity"]),
+        "cpf": Table("Fig. 12(d) — CPF per metric", ["dataset", "a:nodes", "b:paths", "c:subtree", "d:similarity"]),
+    }
+    summary = {}
+    for name in DATASETS:
+        pg = datasets[name]
+        per_metric = {key: [] for key in METRIC_VARIANTS}
+        per_query = {key: [] for key in METRIC_VARIANTS}
+        for q in workloads[name]:
+            results = {
+                key: list(fn(pg, q, DEFAULT_K))
+                for key, fn in METRIC_VARIANTS.items()
+            }
+            for key, communities in results.items():
+                per_metric[key].append((q, communities))
+                per_query[key].append(communities)
+        rows = {stat: [name] for stat in tables}
+        summary[name] = {}
+        subtree_results = {q: comms for q, comms in per_metric["c"]}
+        for key in ("a", "b", "c", "d"):
+            vertex_sets = [
+                c.vertices for _, comms in per_metric[key] for c in comms
+            ]
+            cps = community_pairwise_similarity(pg, vertex_sets)
+            ldrs = [
+                level_diversity_ratio(pg, q, comms, subtree_results[q])
+                for q, comms in per_metric[key]
+            ]
+            ldr = sum(ldrs) / len(ldrs) if ldrs else 0.0
+            counts = [len(comms) for comms in per_query[key]]
+            num = sum(counts) / len(counts) if counts else 0.0
+            cpfs = [
+                community_ptree_frequency(pg, q, [c.vertices for c in comms])
+                for q, comms in per_metric[key]
+                if comms
+            ]
+            cpf = sum(cpfs) / len(cpfs) if cpfs else 0.0
+            summary[name][key] = {"cps": cps, "ldr": ldr, "num": num, "cpf": cpf}
+            rows["cps"].append(round(cps, 3))
+            rows["ldr"].append(round(ldr, 3))
+            rows["num"].append(round(num, 2))
+            rows["cpf"].append(round(cpf, 3))
+        for stat, table in tables.items():
+            table.add_row(*rows[stat])
+        # Metric (c) finds at least as many communities and full per-level
+        # diversity by construction (LDR of c vs c is 1).
+        assert summary[name]["c"]["ldr"] == 1.0
+        assert summary[name]["c"]["num"] >= summary[name]["a"]["num"] - 1e-9
+    for table in tables.values():
+        table.show()
+    save_tables("fig12_metric_variants", list(tables.values()), extra={"summary": summary})
+
+    pg = datasets["acmdl"]
+    q = workloads["acmdl"].queries[0]
+    benchmark(lambda: METRIC_VARIANTS["c"](pg, q, DEFAULT_K))

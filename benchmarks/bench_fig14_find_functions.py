@@ -1,0 +1,67 @@
+"""Fig. 14(q–t) — comparing the initial-cut finders find-I / find-D / find-P.
+
+Times only the cut-finding phase (Algorithms 5–7) for k = 4…8. The paper
+reports find-P and find-D 10–100× faster than find-I, with find-P the most
+stable, because find-I sweeps the feasible interior bottom-up while find-D
+strips leaves from T(q) and find-P verifies whole root-to-leaf paths with
+single index lookups.
+"""
+
+import time
+
+from repro.bench import Table, save_tables
+from repro.core import (
+    FeasibilityOracle,
+    find_initial_cut_decre,
+    find_initial_cut_incre,
+    find_initial_cut_path,
+)
+
+K_VALUES = (4, 5, 6, 7, 8)
+FINDERS = {
+    "find-I": find_initial_cut_incre,
+    "find-D": find_initial_cut_decre,
+    "find-P": find_initial_cut_path,
+}
+
+
+def _mean_find_ms(pg, queries, k, finder):
+    total = 0.0
+    for q in queries:
+        oracle = FeasibilityOracle(pg, q, k, index=pg.index())
+        start = time.perf_counter()
+        finder(oracle)
+        total += time.perf_counter() - start
+    return (total / len(queries)) * 1000.0 if queries else 0.0
+
+
+def test_fig14_find_functions(benchmark, datasets, workloads):
+    tables = []
+    payload = {}
+    for name, pg in datasets.items():
+        queries = list(workloads[name])
+        table = Table(
+            f"Fig. 14(q-t) — {name}: initial-cut time (ms) vs k",
+            ["finder"] + [f"k={k}" for k in K_VALUES],
+        )
+        payload[name] = {}
+        for label, finder in FINDERS.items():
+            row = [_mean_find_ms(pg, queries, k, finder) for k in K_VALUES]
+            payload[name][label] = row
+            table.add_row(label, *(round(v, 3) for v in row))
+        tables.append(table)
+        table.show()
+        # The paper's claim at the default k: find-P and find-D do not lose
+        # to find-I (they skip the bottom-up interior sweep).
+        at_default = {label: payload[name][label][2] for label in FINDERS}
+        assert min(at_default["find-D"], at_default["find-P"]) <= at_default["find-I"] * 1.1 + 0.5
+    save_tables("fig14_find_functions", tables, extra={"ms": payload})
+
+    pg = datasets["acmdl"]
+    q = workloads["acmdl"].queries[0]
+
+    def run():
+        oracle = FeasibilityOracle(pg, q, 6, index=pg.index())
+        return find_initial_cut_path(oracle)
+
+    benchmark(run)

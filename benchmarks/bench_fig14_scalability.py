@@ -1,0 +1,82 @@
+"""Fig. 14(e–p) — scalability of the index-based methods.
+
+Three sweeps at the default k = 6, mirroring the paper:
+
+* (e–h) fraction of vertices 20%…100% ("vertices' P-trees are fully
+  considered");
+* (i–l) fraction of each vertex's P-tree nodes;
+* (m–p) fraction of the GP-tree.
+
+Expected shape: all methods slow down as each axis grows; adv-D / adv-P
+scale best, incre worst among the index-based methods (basic is excluded,
+as in the paper's own scalability plots, which drop it "afterwards").
+"""
+
+from repro.bench import Table, make_workload, save_tables
+from repro.core import pcs
+
+from conftest import DEFAULT_K, bench_queries
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+METHODS = ("incre", "adv-I", "adv-D", "adv-P")
+
+SWEEPS = {
+    "(e-h) vertices": lambda pg, f: pg.sample_vertices(f, seed=9),
+    "(i-l) P-trees": lambda pg, f: pg.sample_ptrees(f, seed=9),
+    "(m-p) GP-tree": lambda pg, f: pg.restrict_gp_tree(f, seed=9),
+}
+
+
+def _mean_query_ms(pg, queries, method):
+    total = 0.0
+    count = 0
+    for q in queries:
+        if q not in pg:
+            continue
+        total += pcs(pg, q, DEFAULT_K, method=method).elapsed_seconds
+        count += 1
+    return (total / count) * 1000.0 if count else 0.0
+
+
+def test_fig14_scalability_sweeps(benchmark, datasets):
+    tables = []
+    payload = {}
+    for label, sampler in SWEEPS.items():
+        payload[label] = {}
+        for name, pg in datasets.items():
+            table = Table(
+                f"Fig. 14{label} — {name}: per-query time (ms), k={DEFAULT_K}",
+                ["method"] + [f"{f:.0%}" for f in FRACTIONS],
+            )
+            payload[label][name] = {}
+            samples = []
+            for fraction in FRACTIONS:
+                sample = sampler(pg, fraction)
+                sample.index(rebuild=fraction < 1.0)
+                workload = make_workload(
+                    sample, name, num_queries=bench_queries(), k=DEFAULT_K, seed=13
+                )
+                samples.append((fraction, sample, list(workload)))
+            for method in METHODS:
+                row = [
+                    _mean_query_ms(sample, queries, method)
+                    for _, sample, queries in samples
+                ]
+                payload[label][name][method] = row
+                table.add_row(method, *(round(v, 2) for v in row))
+            tables.append(table)
+            table.show()
+    save_tables("fig14_scalability", tables, extra={"ms": payload})
+
+    # Shape check on the vertex sweep of every dataset: the best advanced
+    # method at full size is not slower than incre (within noise).
+    for name in datasets:
+        full = payload["(e-h) vertices"][name]
+        best_adv = min(full["adv-D"][-1], full["adv-P"][-1])
+        assert best_adv <= full["incre"][-1] * 1.25 + 1.0
+
+    pg = datasets["acmdl"].sample_vertices(0.4, seed=9)
+    pg.index()
+    workload = make_workload(pg, "acmdl", num_queries=1, k=DEFAULT_K, seed=13)
+    q = workload.queries[0]
+    benchmark(lambda: pcs(pg, q, DEFAULT_K, method="adv-P"))

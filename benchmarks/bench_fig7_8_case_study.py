@@ -1,0 +1,56 @@
+"""Figs. 7–8 — the Jim Gray case study (PCS finds two PCs, ACQ only one).
+
+Reconstruction of the paper's qualitative result on the genuine ACM CCS
+fragment: a researcher spanning two areas has two profiled communities —
+a deep-chain theme (PC1) and a bushy multi-branch theme (PC2). ACQ, which
+maximises the flat shared-label count, returns PC1 only.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "examples"))
+
+from seminar_planning import PC1_MEMBERS, PC2_MEMBERS, QUERY, build_case_study
+
+from repro.baselines import acq_query
+from repro.bench import Table, save_tables
+from repro.core import pcs
+
+
+def test_fig7_8_case_study(benchmark):
+    pg = build_case_study()
+    pcs_result = pcs(pg, QUERY, 4)
+    acq_result = acq_query(pg, QUERY, 4)
+
+    table = Table(
+        "Figs. 7-8 — case study communities of one researcher (k=4)",
+        ["method", "#communities", "members", "|shared labels|", "#branches@L1"],
+    )
+    for label, result in (("PCS", pcs_result), ("ACQ", acq_result)):
+        for community in result:
+            others = sorted(community.vertices - {QUERY})
+            table.add_row(
+                label,
+                len(result),
+                ", ".join(o.split()[-1] for o in others),
+                len(community.subtree),
+                len(community.subtree.level_nodes(1)),
+            )
+    table.show()
+    save_tables("fig7_8_case_study", [table])
+
+    # PCS returns both communities; ACQ only the label-count maximiser.
+    assert len(pcs_result) == 2
+    assert len(acq_result) == 1
+    communities = {frozenset(c.vertices) for c in pcs_result}
+    assert frozenset((QUERY,) + PC1_MEMBERS) in communities
+    assert frozenset((QUERY,) + PC2_MEMBERS) in communities
+    assert acq_result[0].vertices == frozenset((QUERY,) + PC1_MEMBERS)
+    # PC1's theme is a chain (one top-level branch); PC2's is diverse.
+    pc1 = next(c for c in pcs_result if c.vertices == frozenset((QUERY,) + PC1_MEMBERS))
+    pc2 = next(c for c in pcs_result if c.vertices == frozenset((QUERY,) + PC2_MEMBERS))
+    assert len(pc1.subtree) > len(pc2.subtree)
+    assert len(pc2.subtree.level_nodes(1)) > len(pc1.subtree.level_nodes(1))
+
+    benchmark(lambda: pcs(pg, QUERY, 4))

@@ -1,0 +1,81 @@
+"""Fig. 9 — community quality: CPS (Eq. 2) and LDR (Eq. 3).
+
+Reproduces the paper's effectiveness comparison:
+
+* Fig. 9(a) CPS — P-ACs (communities found by both PCS and ACQ) score
+  highest; PCs* (communities only PCS finds) score close to them; Global
+  and Local, which ignore profiles entirely, score lowest.
+* Fig. 9(b) LDR — ACQ's communities cover only a fraction (the paper
+  reports 40–60%) of PCS's per-level label diversity.
+"""
+
+from repro.baselines import acq_query, global_community_k, local_community
+from repro.bench import Table, save_tables
+from repro.core import pcs
+from repro.metrics import community_pairwise_similarity, level_diversity_ratio
+
+from conftest import DEFAULT_K
+
+
+def _collect(pg, queries):
+    """Per-method communities for one dataset's workload."""
+    per_method = {"PCs*": [], "P-ACs": [], "ACQ": [], "Global": [], "Local": []}
+    ldr_inputs = []
+    for q in queries:
+        pcs_result = list(pcs(pg, q, DEFAULT_K))
+        acq_result = list(acq_query(pg, q, DEFAULT_K))
+        acq_sets = {c.vertices for c in acq_result}
+        both = [c.vertices for c in pcs_result if c.vertices in acq_sets]
+        only_pcs = [c.vertices for c in pcs_result if c.vertices not in acq_sets]
+        per_method["P-ACs"].extend(both)
+        per_method["PCs*"].extend(only_pcs)
+        per_method["ACQ"].extend(acq_sets)
+        g = global_community_k(pg.graph, q, DEFAULT_K)
+        if g:
+            per_method["Global"].append(g)
+        l = local_community(pg.graph, q, DEFAULT_K)
+        if l:
+            per_method["Local"].append(l)
+        ldr_inputs.append((q, acq_result, pcs_result))
+    return per_method, ldr_inputs
+
+
+def test_fig9_cps_and_ldr(benchmark, datasets, workloads):
+    cps_table = Table(
+        "Fig. 9(a) — CPS per method (higher = more profile-cohesive)",
+        ["dataset", "PCs*", "P-ACs", "ACQ", "Global", "Local"],
+    )
+    ldr_table = Table(
+        "Fig. 9(b) — LDR of ACQ relative to PCS (1.0 = same diversity)",
+        ["dataset", "LDR(ACQ)"],
+    )
+    cps_values = {}
+    for name, pg in datasets.items():
+        per_method, ldr_inputs = _collect(pg, workloads[name])
+        row = [name]
+        cps_values[name] = {}
+        for method in ("PCs*", "P-ACs", "ACQ", "Global", "Local"):
+            value = community_pairwise_similarity(pg, per_method[method])
+            cps_values[name][method] = value
+            row.append(round(value, 3))
+        cps_table.add_row(*row)
+        ldrs = [
+            level_diversity_ratio(pg, q, acq_res, pcs_res)
+            for q, acq_res, pcs_res in ldr_inputs
+            if pcs_res
+        ]
+        ldr = sum(ldrs) / len(ldrs) if ldrs else 0.0
+        ldr_table.add_row(name, round(ldr, 3))
+        # Shape assertions (the paper's qualitative claims).
+        profile_aware = max(cps_values[name]["P-ACs"], cps_values[name]["PCs*"])
+        for topology_only in ("Global", "Local"):
+            if per_method[topology_only]:
+                assert profile_aware >= cps_values[name][topology_only] - 1e-9
+        assert 0.0 < ldr <= 1.0 + 1e-9
+    cps_table.show()
+    ldr_table.show()
+    save_tables("fig9_cps_ldr", [cps_table, ldr_table], extra={"cps": cps_values})
+
+    pg = datasets["acmdl"]
+    q = workloads["acmdl"].queries[0]
+    benchmark(lambda: community_pairwise_similarity(pg, [c.vertices for c in pcs(pg, q, DEFAULT_K)]))

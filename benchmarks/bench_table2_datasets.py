@@ -1,0 +1,58 @@
+"""Table 2 — dataset statistics.
+
+Regenerates the paper's dataset table. The paper reports full-scale corpora;
+we generate calibrated synthetic analogues at bench scale, so the check is
+that the *intensive* statistics (average degree d̂, average P-tree size P̂,
+GP-tree size) land near the paper's values while n and m scale down
+proportionally.
+"""
+
+import pytest
+
+from repro.bench import Table, save_tables
+from repro.datasets import DATASET_SPECS, load_dataset
+
+from conftest import bench_scale
+
+
+def test_table2_dataset_statistics(benchmark, datasets):
+    table = Table(
+        "Table 2 — datasets (paper full-scale vs generated at bench scale)",
+        [
+            "dataset",
+            "n(paper)",
+            "m(paper)",
+            "d̂(paper)",
+            "P̂(paper)",
+            "|GP|(paper)",
+            "n(gen)",
+            "m(gen)",
+            "d̂(gen)",
+            "P̂(gen)",
+            "|GP|(gen)",
+        ],
+    )
+    for name, pg in datasets.items():
+        spec = DATASET_SPECS[name]
+        stats = pg.stats()
+        table.add_row(
+            name,
+            spec.paper_vertices,
+            spec.paper_edges,
+            spec.paper_avg_degree,
+            spec.paper_avg_ptree,
+            spec.paper_gp_size,
+            stats.num_vertices,
+            stats.num_edges,
+            round(stats.average_degree, 2),
+            round(stats.average_ptree_size, 2),
+            stats.gp_tree_size,
+        )
+        # Intensive statistics must land near the paper's values.
+        assert abs(stats.average_degree - spec.paper_avg_degree) <= 0.35 * spec.paper_avg_degree
+        assert stats.gp_tree_size == spec.paper_gp_size
+    table.show()
+    save_tables("table2_datasets", [table])
+
+    # Benchmark: regenerating the smallest dataset end to end.
+    benchmark(lambda: load_dataset("acmdl", scale=bench_scale("acmdl")))

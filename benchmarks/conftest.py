@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one table or figure of the paper. Datasets
+are generated once per session at `BENCH_SCALES` (a few thousand vertices —
+pure-Python budgets; see DESIGN.md §4 for the calibration) and reused.
+
+Environment knobs:
+
+* ``REPRO_BENCH_QUERIES`` — queries per workload (default 5; the paper uses
+  100 on a Java implementation);
+* ``REPRO_BENCH_SCALE``   — multiplier applied to every dataset scale.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench import make_workload
+from repro.datasets import load_dataset, load_ego_network
+
+#: Default generation scales (fraction of the paper's vertex counts).
+BENCH_SCALES: Dict[str, float] = {
+    "acmdl": 0.02,
+    "flickr": 0.005,
+    "pubmed": 0.005,
+    "dblp": 0.003,
+}
+
+#: The paper's default structure parameter (§5.1).
+DEFAULT_K = 6
+
+
+def bench_queries() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "5"))
+
+
+def bench_scale(name: str) -> float:
+    mult = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return min(1.0, BENCH_SCALES[name] * mult)
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """name → ProfiledGraph with a pre-built CP-tree index."""
+    loaded = {}
+    for name in BENCH_SCALES:
+        pg = load_dataset(name, scale=bench_scale(name))
+        pg.index()
+        loaded[name] = pg
+    return loaded
+
+
+@pytest.fixture(scope="session")
+def workloads(datasets):
+    """name → Workload of query vertices from the 6-core (paper §5.1)."""
+    return {
+        name: make_workload(pg, name, num_queries=bench_queries(), k=DEFAULT_K, seed=7)
+        for name, pg in datasets.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def ego_networks():
+    """name → (ProfiledGraph, ground-truth circles) for FB1–FB3."""
+    loaded = {}
+    for name in ("fb1", "fb2", "fb3"):
+        pg, circles = load_ego_network(name, seed=7)
+        pg.index()
+        loaded[name] = (pg, [frozenset(c) for c in circles])
+    return loaded

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CP-tree index construction and query-method scaling (paper §5.4).
+
+Builds the CP-tree for growing fractions of the ACMDL-like dataset and
+times construction (the paper's Fig. 13(a): construction time is linear in
+graph size), then compares the query algorithms at the default k = 6
+(Fig. 14): the index-based methods dominate `basic`, and the advanced
+border-walking methods dominate `incre`.
+
+Run:  python examples/index_scaling.py
+"""
+
+import time
+
+from repro.core import pcs
+from repro.datasets import load_dataset
+from repro.graph.generators import random_queries
+
+K = 6
+
+
+def main() -> None:
+    base = load_dataset("acmdl", scale=0.02)
+    print(f"Base dataset: {base}\n")
+
+    print("CP-tree construction scaling (Fig. 13(a) analogue):")
+    print(f"{'fraction':>9s}  {'vertices':>9s}  {'build (s)':>10s}")
+    for fraction in (0.2, 0.4, 0.6, 0.8, 1.0):
+        sample = base.sample_vertices(fraction, seed=1)
+        start = time.perf_counter()
+        sample.index(rebuild=True)
+        elapsed = time.perf_counter() - start
+        print(f"{fraction:>9.0%}  {sample.num_vertices:>9d}  {elapsed:>10.3f}")
+
+    print("\nQuery method comparison (Fig. 14 analogue, k = 6):")
+    base.index()
+    queries = random_queries(base.graph, 10, K, seed=5)
+    print(f"{'method':>7s}  {'ms/query':>9s}  {'verifications/query':>20s}")
+    for method in ("basic", "incre", "adv-I", "adv-D", "adv-P"):
+        total_time = 0.0
+        total_ver = 0
+        for q in queries:
+            result = pcs(base, q, K, method=method)
+            total_time += result.elapsed_seconds
+            total_ver += result.num_verifications
+        print(
+            f"{method:>7s}  {total_time / len(queries) * 1000:>9.2f}"
+            f"  {total_ver / len(queries):>20.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

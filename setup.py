@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments whose pip cannot build PEP 660
+editable wheels (e.g. offline machines without the ``wheel`` package):
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Exploring Communities in Large Profiled Graphs".
+
+The package implements Profiled Community Search (PCS) end to end:
+
+* :mod:`repro.graph` — graph containers and cohesive-subgraph decompositions
+  (k-core, k-truss, k-clique, D-core);
+* :mod:`repro.ptree` — taxonomy (GP-tree), P-trees, subtree enumeration,
+  the subtree lattice and tree edit distance;
+* :mod:`repro.index` — the CL-tree and CP-tree indexes;
+* :mod:`repro.core` — the PCS problem, the ``basic`` / ``incre`` /
+  ``adv-I`` / ``adv-D`` / ``adv-P`` query algorithms, and extensions;
+* :mod:`repro.baselines` — Global, Local, ACQ and k-truss community search;
+* :mod:`repro.metrics` — CPS, LDR, CPF, F1 and size statistics;
+* :mod:`repro.datasets` — seeded synthetic profiled graphs calibrated to the
+  paper's datasets, plus serialisation;
+* :mod:`repro.bench` — benchmark harness utilities.
+
+Quickstart::
+
+    from repro import datasets, pcs
+
+    pg = datasets.fig1_profiled_graph()
+    result = pcs(pg, q="D", k=2)
+    for community in result:
+        print(sorted(community.vertices), sorted(community.subtree.names()))
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro` light while letting users reach the
+    # main entry points directly from the package root.
+    if name in ("pcs", "PCSResult", "ProfiledCommunity", "ProfiledGraph"):
+        from repro.core import PCSResult, ProfiledCommunity, ProfiledGraph, pcs
+
+        return {
+            "pcs": pcs,
+            "PCSResult": PCSResult,
+            "ProfiledCommunity": ProfiledCommunity,
+            "ProfiledGraph": ProfiledGraph,
+        }[name]
+    if name == "datasets":
+        import repro.datasets as datasets
+
+        return datasets
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,29 @@
+"""Analysis utilities: cover comparison metrics and community summaries."""
+
+from repro.analysis.compare import (
+    average_jaccard_match,
+    best_match_jaccard,
+    jaccard,
+    omega_index,
+    overlapping_nmi,
+)
+from repro.analysis.summarize import (
+    CoverSummary,
+    describe_community,
+    overlap_matrix,
+    summarize_cover,
+    theme_branches,
+)
+
+__all__ = [
+    "jaccard",
+    "best_match_jaccard",
+    "average_jaccard_match",
+    "overlapping_nmi",
+    "omega_index",
+    "CoverSummary",
+    "overlap_matrix",
+    "theme_branches",
+    "summarize_cover",
+    "describe_community",
+]

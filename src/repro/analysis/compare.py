@@ -1,0 +1,158 @@
+"""Comparing community covers: Jaccard matching, NMI, omega index.
+
+The community-detection extension (:func:`repro.core.detection.detect_communities`)
+produces an *overlapping cover* that wants to be scored against planted
+ground truth. Best-match F1 (Fig. 11) scores single queries; this module
+adds cover-level measures:
+
+* :func:`average_jaccard_match` — symmetric best-match Jaccard between two
+  covers (the standard "matching" score for overlapping communities);
+* :func:`overlapping_nmi` — normalised mutual information over the
+  best-match pairing (a practical variant of LFK NMI: per-community overlap
+  entropy against the matched counterpart);
+* :func:`omega_index` — the chance-corrected pairwise agreement for
+  overlapping covers (Collins & Dent), reducing to the Adjusted Rand index
+  for disjoint covers.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+
+Vertex = Hashable
+Cover = Sequence[FrozenSet[Vertex]]
+
+
+def jaccard(a: FrozenSet[Vertex], b: FrozenSet[Vertex]) -> float:
+    """|a ∩ b| / |a ∪ b| (1.0 when both are empty)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def best_match_jaccard(cover: Cover, reference: Cover) -> float:
+    """Mean over ``cover`` of each community's best Jaccard in ``reference``."""
+    if not cover or not reference:
+        return 0.0
+    return sum(
+        max(jaccard(c, r) for r in reference) for c in cover
+    ) / len(cover)
+
+
+def average_jaccard_match(found: Cover, truth: Cover) -> float:
+    """Symmetric best-match Jaccard: mean of both directions."""
+    forward = best_match_jaccard(found, truth)
+    backward = best_match_jaccard(truth, found)
+    return (forward + backward) / 2.0
+
+
+def _entropy(p: float) -> float:
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+
+
+def overlapping_nmi(found: Cover, truth: Cover, universe_size: int) -> float:
+    """Best-match normalised mutual information for overlapping covers.
+
+    For each community, treat membership as a binary variable over the
+    universe; score 1 − H(X|best-match Y)/H(X), symmetrised. Degenerate
+    communities (empty or universal) contribute zero information.
+    """
+    if universe_size <= 0 or not found or not truth:
+        return 0.0
+
+    def side(cover_a: Cover, cover_b: Cover) -> float:
+        scores: List[float] = []
+        for a in cover_a:
+            pa = len(a) / universe_size
+            ha = _entropy(pa)
+            if ha == 0.0:
+                continue
+            best = 0.0
+            for b in cover_b:
+                p11 = len(a & b) / universe_size
+                pb = len(b) / universe_size
+                p10 = pa - p11
+                p01 = pb - p11
+                p00 = 1 - pa - pb + p11
+
+                def h(p: float) -> float:
+                    return -p * math.log2(p) if p > 1e-12 else 0.0
+
+                # LFK constraint: complement-style correlation (e.g. two
+                # disjoint halves of the universe) carries no community
+                # information and counts as unmatched.
+                if h(p11) + h(p00) < h(p10) + h(p01):
+                    continue
+                mi = 0.0
+                for p, px, py in (
+                    (p11, pa, pb),
+                    (p10, pa, 1 - pb),
+                    (p01, 1 - pa, pb),
+                    (p00, 1 - pa, 1 - pb),
+                ):
+                    if p > 1e-12:
+                        mi += p * math.log2(p / (px * py))
+                best = max(best, mi / ha)
+            scores.append(min(1.0, max(0.0, best)))
+        return sum(scores) / len(scores) if scores else 0.0
+
+    return (side(found, truth) + side(truth, found)) / 2.0
+
+
+def omega_index(found: Cover, truth: Cover, universe: Sequence[Vertex]) -> float:
+    """Omega index: chance-corrected agreement on pairwise co-membership counts.
+
+    For every vertex pair, count in how many communities of each cover the
+    pair co-occurs; observed agreement is the fraction of pairs with equal
+    counts, corrected by the expected agreement of the count distributions.
+    """
+    vertices = list(universe)
+    if len(vertices) < 2:
+        return 1.0
+
+    def pair_counts(cover: Cover) -> Dict[Tuple[Vertex, Vertex], int]:
+        counts: Dict[Tuple[Vertex, Vertex], int] = {}
+        for community in cover:
+            members = sorted(community, key=repr)
+            for a, b in combinations(members, 2):
+                counts[(a, b)] = counts.get((a, b), 0) + 1
+        return counts
+
+    counts_found = pair_counts(found)
+    counts_truth = pair_counts(truth)
+    total_pairs = len(vertices) * (len(vertices) - 1) // 2
+
+    # Distribution of counts per cover (count value → #pairs).
+    def histogram(counts: Dict) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        nonzero = 0
+        for value in counts.values():
+            hist[value] = hist.get(value, 0) + 1
+            nonzero += 1
+        hist[0] = total_pairs - nonzero
+        return hist
+
+    hist_found = histogram(counts_found)
+    hist_truth = histogram(counts_truth)
+
+    observed = 0
+    keys = set(counts_found) | set(counts_truth)
+    for key in keys:
+        if counts_found.get(key, 0) == counts_truth.get(key, 0):
+            observed += 1
+    observed += total_pairs - len(keys)  # pairs at count 0 in both
+    observed_frac = observed / total_pairs
+
+    expected_frac = sum(
+        (hist_found.get(level, 0) / total_pairs)
+        * (hist_truth.get(level, 0) / total_pairs)
+        for level in set(hist_found) | set(hist_truth)
+    )
+    if expected_frac >= 1.0:
+        return 1.0
+    return (observed_frac - expected_frac) / (1.0 - expected_frac)

@@ -1,0 +1,109 @@
+"""Summarising PCS answers: overlap structure and theme roll-ups.
+
+Turning a set of profiled communities into something a person can read:
+which communities overlap how much, what taxonomy branches their themes live
+in, and a compact text digest. Used by the exploration example and by
+downstream users who treat PCS as a discovery tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+from repro.analysis.compare import jaccard
+from repro.core.community import ProfiledCommunity
+from repro.ptree.taxonomy import ROOT, Taxonomy
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class CoverSummary:
+    """Aggregate description of a community cover."""
+
+    num_communities: int
+    num_vertices_covered: int
+    average_size: float
+    average_theme_size: float
+    max_pairwise_jaccard: float
+    top_branches: Tuple[Tuple[str, int], ...]
+
+    def digest(self) -> str:
+        branches = ", ".join(f"{name}×{count}" for name, count in self.top_branches)
+        return (
+            f"{self.num_communities} communities covering "
+            f"{self.num_vertices_covered} vertices; avg size "
+            f"{self.average_size:.1f}, avg theme {self.average_theme_size:.1f} "
+            f"labels; max overlap {self.max_pairwise_jaccard:.2f}; "
+            f"top branches: {branches or '(none)'}"
+        )
+
+
+def overlap_matrix(communities: Sequence[ProfiledCommunity]) -> List[List[float]]:
+    """Pairwise Jaccard overlaps (symmetric, 1.0 diagonal)."""
+    n = len(communities)
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        matrix[i][i] = 1.0
+        for j in range(i + 1, n):
+            value = jaccard(communities[i].vertices, communities[j].vertices)
+            matrix[i][j] = matrix[j][i] = value
+    return matrix
+
+
+def theme_branches(
+    community: ProfiledCommunity, taxonomy: Taxonomy
+) -> FrozenSet[str]:
+    """Top-level taxonomy branches touched by the community's theme."""
+    return frozenset(
+        taxonomy.name(node)
+        for node in community.subtree.nodes
+        if taxonomy.depth(node) == 1
+    )
+
+
+def summarize_cover(
+    communities: Sequence[ProfiledCommunity], taxonomy: Taxonomy, top: int = 3
+) -> CoverSummary:
+    """Aggregate a cover into a :class:`CoverSummary`."""
+    if not communities:
+        return CoverSummary(0, 0, 0.0, 0.0, 0.0, ())
+    covered: set = set()
+    branch_counts: Dict[str, int] = {}
+    for community in communities:
+        covered |= community.vertices
+        for branch in theme_branches(community, taxonomy):
+            branch_counts[branch] = branch_counts.get(branch, 0) + 1
+    matrix = overlap_matrix(communities)
+    max_overlap = max(
+        (matrix[i][j] for i in range(len(matrix)) for j in range(i + 1, len(matrix))),
+        default=0.0,
+    )
+    ranked = sorted(branch_counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    return CoverSummary(
+        num_communities=len(communities),
+        num_vertices_covered=len(covered),
+        average_size=sum(c.size for c in communities) / len(communities),
+        average_theme_size=sum(len(c.subtree) for c in communities) / len(communities),
+        max_pairwise_jaccard=max_overlap,
+        top_branches=tuple(ranked),
+    )
+
+
+def describe_community(
+    community: ProfiledCommunity, taxonomy: Taxonomy, max_members: int = 8
+) -> str:
+    """A one-paragraph text description of one profiled community."""
+    members = sorted(map(str, community.vertices))
+    shown = ", ".join(members[:max_members])
+    if len(members) > max_members:
+        shown += f", … (+{len(members) - max_members})"
+    theme_leaves = [
+        taxonomy.name(x) for x in community.subtree.leaves() if x != ROOT
+    ]
+    theme = ", ".join(sorted(theme_leaves)) or "(no shared labels)"
+    return (
+        f"Community of {community.size} members around {community.query!r} "
+        f"(k={community.k}): {shown}. Shared focus: {theme}."
+    )

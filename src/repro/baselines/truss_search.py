@@ -1,0 +1,43 @@
+"""k-truss community search baseline (Huang et al., SIGMOD'14 — ref. [10]).
+
+A topology-only community-search baseline using triangle cohesion instead of
+minimum degree: the community of q at parameter k is the connected component
+of the k-truss containing q. Included both as a CS baseline and as the
+substrate behind :class:`repro.core.cohesion.KTrussCohesion`, which plugs
+trusses into full PCS (the paper's §6 future-work item).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Tuple
+
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.graph.truss import connected_k_truss, truss_numbers
+
+Vertex = Hashable
+
+
+def truss_community_k(graph: Graph, q: Vertex, k: int) -> FrozenSet[Vertex]:
+    """The connected k-truss containing q (empty when q is not in it)."""
+    if q not in graph:
+        raise VertexNotFoundError(q)
+    return connected_k_truss(graph, q, k)
+
+
+def truss_community(graph: Graph, q: Vertex) -> Tuple[FrozenSet[Vertex], int]:
+    """The k-truss community of q at the largest feasible k.
+
+    Returns ``(vertices, k*)`` where k* is the maximum truss number over
+    q's incident edges (k* = 0 for isolated q; k* ≥ 2 otherwise).
+    """
+    if q not in graph:
+        raise VertexNotFoundError(q)
+    truss = truss_numbers(graph)
+    k_star = 0
+    for (u, v), t in truss.items():
+        if (u == q or v == q) and t > k_star:
+            k_star = t
+    if k_star < 2:
+        return frozenset((q,)), 0
+    return connected_k_truss(graph, q, k_star), k_star

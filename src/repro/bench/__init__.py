@@ -1,0 +1,26 @@
+"""Benchmark harness utilities used by ``benchmarks/``."""
+
+from repro.bench.harness import (
+    RESULTS_DIR,
+    Table,
+    Timing,
+    geometric_speedup,
+    save_result,
+    save_tables,
+    time_call,
+)
+from repro.bench.workloads import DEFAULT_K, PAPER_QUERY_COUNT, Workload, make_workload
+
+__all__ = [
+    "Table",
+    "Timing",
+    "time_call",
+    "geometric_speedup",
+    "save_result",
+    "save_tables",
+    "RESULTS_DIR",
+    "Workload",
+    "make_workload",
+    "DEFAULT_K",
+    "PAPER_QUERY_COUNT",
+]

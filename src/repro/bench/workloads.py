@@ -1,0 +1,57 @@
+"""Query workload construction shared by the benchmarks.
+
+The paper's protocol (§5.1): "we set the default value of k to 6. For each
+dataset, we randomly select 100 query vertices from the 6-core." Benchmarks
+reproduce that protocol at a configurable query count (fewer queries by
+default — pure Python — with identical sampling semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence
+
+from repro.core.profiled_graph import ProfiledGraph
+from repro.graph.generators import random_queries
+
+Vertex = Hashable
+
+#: The paper's default parameters.
+DEFAULT_K = 6
+PAPER_QUERY_COUNT = 100
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A reproducible query workload over one dataset."""
+
+    dataset: str
+    k: int
+    queries: Sequence[Vertex]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def make_workload(
+    pg: ProfiledGraph,
+    dataset: str,
+    num_queries: int,
+    k: int = DEFAULT_K,
+    seed: int = 7,
+    require_profile: bool = True,
+) -> Workload:
+    """Sample ``num_queries`` vertices from the k-core of ``pg``.
+
+    ``require_profile`` filters to vertices whose P-tree has more than the
+    root label, so PCS queries have a non-trivial search space (the paper's
+    real query vertices always carry profiles).
+    """
+    restrict: List[Vertex] = None
+    if require_profile:
+        restrict = [v for v in pg.vertices() if len(pg.labels(v)) > 1]
+    queries = random_queries(pg.graph, num_queries, k, seed=seed, restrict_to=restrict)
+    return Workload(dataset=dataset, k=k, queries=tuple(queries))

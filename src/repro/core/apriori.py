@@ -1,0 +1,118 @@
+"""Shared Apriori-style traversal used by ``basic``, ``incre`` and ``find-I``.
+
+The traversal grows subtrees of T(q) from {r} upward with rightmost-path
+extension (paper §3.2), prunes infeasible branches by anti-monotonicity
+(Lemma 2), and reports every *maximal* feasible subtree. ``basic`` and
+``incre`` differ only in the oracle they plug in (index-free scans versus
+Lemma-3 index intersections), which is exactly how the paper frames them —
+Algorithm 3 "follows the framework of basic".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.core.feasibility import FeasibilityOracle
+from repro.ptree.taxonomy import ROOT
+
+Vertex = Hashable
+NodeSet = FrozenSet[int]
+
+EMPTY_NODES: NodeSet = frozenset()
+
+
+@dataclass
+class TraversalOutcome:
+    """What an Apriori sweep over the subtree search space produced.
+
+    ``maximal`` maps each maximal feasible subtree to its community. When the
+    sweep is stopped at the first maximal subtree (find-I), ``first_cut``
+    carries the (infeasible child, feasible parent) pair that seeds border
+    expansion — ``None`` as the child marks the special case F = T(q).
+    """
+
+    maximal: Dict[NodeSet, FrozenSet[Vertex]] = field(default_factory=dict)
+    first_cut: Optional[Tuple[Optional[NodeSet], NodeSet]] = None
+
+
+def apriori_traverse(
+    oracle: FeasibilityOracle,
+    stop_at_first_maximal: bool = False,
+) -> TraversalOutcome:
+    """Enumerate feasible subtrees bottom-up; collect the maximal ones.
+
+    Parameters
+    ----------
+    oracle:
+        Feasibility oracle bound to (pg, q, k); its mode decides whether this
+        is ``basic`` or ``incre``.
+    stop_at_first_maximal:
+        Stop as soon as one maximal feasible subtree is confirmed and record
+        an initial cut for it (used by ``find-I``).
+    """
+    outcome = TraversalOutcome()
+    base = oracle.base_nodes
+    taxonomy = oracle.pg.taxonomy
+
+    if ROOT not in base:
+        # q carries no profile: the only candidate subtree is the empty one.
+        community = oracle.community(EMPTY_NODES)
+        if community:
+            outcome.maximal[EMPTY_NODES] = community
+            if stop_at_first_maximal:
+                outcome.first_cut = (None, EMPTY_NODES)
+        return outcome
+
+    root_set: NodeSet = frozenset((ROOT,))
+    if not oracle.is_feasible_from_parent(root_set, EMPTY_NODES, ROOT):
+        return outcome
+
+    pre = taxonomy.preorder
+    # Stack of (subtree, preorder bound); every entry is feasible.
+    stack: List[Tuple[NodeSet, int]] = [(root_set, pre(ROOT))]
+    while stack:
+        current, bound = stack.pop()
+        all_rightmost_infeasible = True
+        infeasible_child: Optional[NodeSet] = None
+        extensions = [
+            x
+            for x in base
+            if x not in current and pre(x) > bound and taxonomy.parent(x) in current
+        ]
+        extensions.sort(key=pre)
+        for x in extensions:
+            child = current | {x}
+            if oracle.is_feasible_from_parent(child, current, x):
+                all_rightmost_infeasible = False
+                stack.append((child, pre(x)))
+            else:
+                infeasible_child = child
+        if all_rightmost_infeasible and oracle.is_maximal(current):
+            outcome.maximal[current] = oracle.community(current)
+            if stop_at_first_maximal:
+                outcome.first_cut = _cut_for(oracle, current, infeasible_child)
+                return outcome
+    return outcome
+
+
+def _cut_for(
+    oracle: FeasibilityOracle,
+    maximal_subtree: NodeSet,
+    infeasible_child: Optional[NodeSet],
+) -> Tuple[Optional[NodeSet], NodeSet]:
+    """Produce the initial cut (IF, F) for a confirmed maximal subtree F.
+
+    Preference order: an infeasible rightmost extension observed during the
+    sweep, else any infeasible lattice child (some exists unless
+    F = T(q), which is the IF = ∅ special case of Algorithm 4 line 2).
+    """
+    if infeasible_child is not None:
+        return (infeasible_child, maximal_subtree)
+    from repro.ptree.enumeration import addable_nodes
+
+    for x in addable_nodes(oracle.pg.taxonomy, oracle.base_nodes, maximal_subtree):
+        child = maximal_subtree | {x}
+        if not oracle.is_feasible_from_parent(child, maximal_subtree, x):
+            return (child, maximal_subtree)
+    return (None, maximal_subtree)

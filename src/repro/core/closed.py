@@ -1,0 +1,133 @@
+"""``closed``: closure-jumping PCS (this library's extension, beyond the paper).
+
+Observation: if T is feasible with community C = Gk[T], then the maximal
+common subtree M(C) of C's members is also feasible **with the same
+community** — Gk[M(C)] = C — because every member carries M(C) ⊇ T. Hence
+the feasible search space collapses onto its *closed* subtrees
+(T = M(Gk[T])), and the answers of Problem 1 — maximal feasible subtrees —
+are exactly the closed subtrees without feasible extensions (a maximal T
+with M(Gk[T]) ⊋ T would contradict its own maximality).
+
+Closed subtrees correspond one-to-one with the distinct communities
+reachable by shrinking Gk, so there are *few* of them — typically a handful
+per query, versus thousands of feasible subtrees swept by ``incre`` and the
+border walked by ``adv-*``. We enumerate them in the style of closed-itemset
+miners (LCM / Close-by-One): start from the closure of {r}, and from each
+closed T jump to ``closure(T ∪ {x})`` for every feasible one-node extension
+x. Every closed set is reached (the closure operator is extensive and
+monotone, so any closed T′ ⊋ T containing T ∪ {x} is reachable through the
+jump's result, which it contains), and the visited set keeps the walk
+linear in the number of closed subtrees times |T(q)|.
+
+The result map equals the paper's algorithms' exactly — verified by the
+equivalence test-suite — while doing orders of magnitude fewer
+verifications; the ``bench_ablation_closed`` benchmark quantifies the gap.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Optional
+
+from repro.core.cohesion import CohesionModel
+from repro.core.community import PCSResult, ProfiledCommunity
+from repro.core.feasibility import FeasibilityOracle
+from repro.core.profiled_graph import ProfiledGraph
+from repro.index.cptree import CPTree
+from repro.ptree.enumeration import addable_nodes
+from repro.ptree.ptree import PTree
+from repro.ptree.taxonomy import ROOT
+
+Vertex = Hashable
+NodeSet = FrozenSet[int]
+
+EMPTY_NODES: NodeSet = frozenset()
+
+
+def closed_query(
+    pg: ProfiledGraph,
+    q: Vertex,
+    k: int,
+    index: Optional[CPTree] = None,
+    cohesion: CohesionModel = None,
+) -> PCSResult:
+    """PCS by closed-subtree enumeration (closure jumping).
+
+    Same answer as ``basic``/``incre``/``adv-*``; typically far fewer
+    feasibility verifications. Works with or without the CP-tree index.
+    """
+    if index is None and pg.has_index():
+        index = pg.index()
+    start = time.perf_counter()
+    oracle = FeasibilityOracle(pg, q, k, index=index, cohesion=cohesion)
+    taxonomy = pg.taxonomy
+    base = oracle.base_nodes
+    labels = pg.all_labels()
+
+    def closure(community: FrozenSet[Vertex]) -> NodeSet:
+        """M(community) ∩ T(q) — the closed subtree the community pins down.
+
+        The intersection over members is automatically inside T(q) (q is a
+        member) and ancestor-closed (every member's label set is).
+        """
+        common: Optional[frozenset] = None
+        for v in community:
+            member_labels = labels[v]
+            common = member_labels if common is None else (common & member_labels)
+            if common is not None and len(common) <= 1:
+                break
+        return (common or frozenset()) & (base | frozenset((ROOT,)))
+
+    maximal: Dict[NodeSet, FrozenSet[Vertex]] = {}
+    if ROOT in base:
+        seed_community = oracle.community_from_parent(
+            frozenset((ROOT,)), EMPTY_NODES, ROOT
+        )
+    else:
+        seed_community = oracle.community(EMPTY_NODES)
+        if seed_community:
+            maximal[EMPTY_NODES] = seed_community
+    if seed_community and ROOT in base:
+        seed = closure(seed_community)
+        # Register the closure's community (identical by construction).
+        oracle._communities.setdefault(seed, seed_community)
+        queue: deque = deque((seed,))
+        visited = {seed}
+        while queue:
+            current = queue.popleft()
+            current_community = oracle.community(current)
+            extension_found = False
+            for x in addable_nodes(taxonomy, base, current):
+                child_community = oracle.community_from_parent(
+                    current | {x}, current, x
+                )
+                if not child_community:
+                    continue
+                extension_found = True
+                jumped = closure(child_community)
+                if jumped not in visited:
+                    visited.add(jumped)
+                    oracle._communities.setdefault(jumped, child_community)
+                    queue.append(jumped)
+            if not extension_found:
+                maximal[current] = current_community
+
+    communities = [
+        ProfiledCommunity(
+            query=q,
+            k=k,
+            vertices=members,
+            subtree=PTree(taxonomy, subtree, _validated=True),
+        )
+        for subtree, members in maximal.items()
+    ]
+    result = PCSResult(
+        query=q,
+        k=k,
+        method="closed",
+        communities=communities,
+        elapsed_seconds=time.perf_counter() - start,
+        num_verifications=oracle.verifications,
+    )
+    return result.sort()

@@ -1,0 +1,73 @@
+"""Algorithm 3: the CP-tree-backed ``incre`` PCS query.
+
+``incre`` runs the same Apriori-style sweep as ``basic`` but verifies each
+new subtree with Lemma 3: ``Gk[T] ⊆ Gk[T′] ∩ I.get(k, q, T∖T′)`` — the
+candidate set is the parent's (cached) community intersected with one
+per-label k-ĉore served by the CP-tree, so verification cost shrinks with
+community size instead of rescanning Gk. The paper measures ``incre`` at
+roughly two orders of magnitude faster than ``basic``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Optional
+
+from repro.core.apriori import apriori_traverse
+from repro.core.cohesion import CohesionModel
+from repro.core.community import PCSResult, ProfiledCommunity
+from repro.core.feasibility import FeasibilityOracle
+from repro.core.profiled_graph import ProfiledGraph
+from repro.index.cptree import CPTree
+from repro.ptree.ptree import PTree
+
+Vertex = Hashable
+
+
+def incre_query(
+    pg: ProfiledGraph,
+    q: Vertex,
+    k: int,
+    index: Optional[CPTree] = None,
+    cohesion: CohesionModel = None,
+) -> PCSResult:
+    """Run the ``incre`` PCS query (Algorithm 3).
+
+    Parameters
+    ----------
+    pg:
+        The profiled graph.
+    q:
+        Query vertex.
+    k:
+        Minimum-degree parameter.
+    index:
+        A pre-built CP-tree; ``pg.index()`` is used (and cached on the
+        profiled graph) when omitted — index construction is *not* counted
+        in the query time, matching the paper's methodology.
+    cohesion:
+        Optional structure model (defaults to k-core).
+    """
+    if index is None:
+        index = pg.index()
+    start = time.perf_counter()
+    oracle = FeasibilityOracle(pg, q, k, index=index, cohesion=cohesion)
+    outcome = apriori_traverse(oracle)
+    communities = [
+        ProfiledCommunity(
+            query=q,
+            k=k,
+            vertices=members,
+            subtree=PTree(pg.taxonomy, subtree, _validated=True),
+        )
+        for subtree, members in outcome.maximal.items()
+    ]
+    result = PCSResult(
+        query=q,
+        k=k,
+        method="incre",
+        communities=communities,
+        elapsed_seconds=time.perf_counter() - start,
+        num_verifications=oracle.verifications,
+    )
+    return result.sort()

@@ -1,0 +1,144 @@
+"""Keyword-cohesiveness community search (the ACQ substrate).
+
+ACQ [Fang et al., the paper's ref. 11] treats vertex attributes as *flat
+keyword sets* and returns the communities whose members share the **largest
+number** of the query vertex's keywords (subject to the same k-core
+constraint as PCS). The paper compares PCS against ACQ throughout §5.2 and
+uses the same machinery for profile-cohesiveness metric variants (a) and (b)
+in §5.3, so the algorithm lives here in :mod:`repro.core` where both the
+variants and :mod:`repro.baselines.acq` can reach it without import cycles.
+
+The search exploits a closure argument instead of level-wise Apriori (which
+blows up when communities share dozens of keywords): for any qualifying
+community C ∋ q, the shared keyword set equals ``⋂_{v∈C} (W(q) ∩ W(v))`` —
+an intersection of per-vertex *shared patterns*. Both the maximum-size and
+the maximal feasible keyword sets are therefore attained inside the
+intersection closure of ``{W(q) ∩ W(v) : v ∈ Gk}``, which is tiny on real
+profile data (distinct patterns ≈ distinct community themes). We enumerate
+the closure with a worklist, verify candidates with k-core peels, and keep
+anti-monotonicity as a pruning rule (supersets of infeasible sets are
+skipped via feasibility memoisation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+
+from repro.graph.core import k_core_within
+from repro.graph.graph import Graph
+
+Vertex = Hashable
+Keyword = Hashable
+KeywordSet = FrozenSet[Keyword]
+
+#: Guard against adversarial inputs whose closure is exponential.
+MAX_CLOSURE_SIZE = 100_000
+
+
+def _intersection_closure(patterns: List[KeywordSet]) -> List[KeywordSet]:
+    """All non-empty intersections of subsets of ``patterns`` (worklist)."""
+    closure = set(p for p in patterns if p)
+    worklist = list(closure)
+    while worklist:
+        current = worklist.pop()
+        for pattern in patterns:
+            merged = current & pattern
+            if merged and merged not in closure:
+                if len(closure) >= MAX_CLOSURE_SIZE:
+                    return sorted(closure, key=len, reverse=True)
+                closure.add(merged)
+                worklist.append(merged)
+    return sorted(closure, key=len, reverse=True)
+
+
+def _feasible_closure_sets(
+    graph: Graph,
+    vertex_keywords: Mapping[Vertex, FrozenSet[Keyword]],
+    q: Vertex,
+    k: int,
+) -> List[Tuple[KeywordSet, FrozenSet[Vertex]]]:
+    """All feasible intersection-closed keyword sets with their communities.
+
+    Returned in decreasing keyword-set size. The closure argument in the
+    module docstring guarantees that both the maximum-cardinality and the
+    maximal feasible keyword sets appear here.
+    """
+    base = frozenset(vertex_keywords.get(q, frozenset()))
+    gk = k_core_within(graph, graph.vertices(), k, q=q)
+    if not gk or not base:
+        return []
+    patterns = list(
+        {base & frozenset(vertex_keywords.get(v, frozenset())) for v in gk}
+    )
+    feasible: List[Tuple[KeywordSet, FrozenSet[Vertex]]] = []
+    for candidate in _intersection_closure(patterns):
+        members = frozenset(
+            v for v in gk if candidate <= vertex_keywords.get(v, frozenset())
+        )
+        community = k_core_within(graph, members, k, q=q)
+        if community:
+            feasible.append((candidate, community))
+    return feasible
+
+
+def keyword_communities(
+    graph: Graph,
+    vertex_keywords: Mapping[Vertex, FrozenSet[Keyword]],
+    q: Vertex,
+    k: int,
+    max_level: Optional[int] = None,
+) -> List[Tuple[KeywordSet, FrozenSet[Vertex]]]:
+    """All maximum-cardinality feasible keyword sets of q, with communities.
+
+    This is ACQ's answer: the communities whose members share the largest
+    number of q's keywords.
+
+    Parameters
+    ----------
+    graph:
+        Topology.
+    vertex_keywords:
+        Vertex → keyword set (any hashable keywords).
+    q:
+        Query vertex.
+    k:
+        Minimum-degree parameter.
+    max_level:
+        Optional cap on the keyword-set size considered (used by tests and
+        by callers that want bounded answers).
+
+    Returns
+    -------
+    list of (keyword set, community) pairs, all keyword sets of equal,
+    maximal size; empty when even the keyword-free k-ĉore of q is empty.
+    """
+    feasible = _feasible_closure_sets(graph, vertex_keywords, q, k)
+    if max_level is not None:
+        feasible = [(s, c) for s, c in feasible if len(s) <= max_level]
+    if not feasible:
+        return []
+    best_size = len(feasible[0][0])
+    winners = [(s, c) for s, c in feasible if len(s) == best_size]
+    winners.sort(key=lambda item: tuple(sorted(map(repr, item[0]))))
+    return winners
+
+
+def maximal_feasible_keyword_sets(
+    graph: Graph,
+    vertex_keywords: Mapping[Vertex, FrozenSet[Keyword]],
+    q: Vertex,
+    k: int,
+) -> List[Tuple[KeywordSet, FrozenSet[Vertex]]]:
+    """All *maximal* (not just maximum-size) feasible keyword sets.
+
+    Used by tests and by callers that want every maximal answer rather than
+    only the largest ones.
+    """
+    feasible = _feasible_closure_sets(graph, vertex_keywords, q, k)
+    maximal = [
+        (s, c)
+        for s, c in feasible
+        if not any(s < other for other, _ in feasible)
+    ]
+    maximal.sort(key=lambda item: (-len(item[0]), tuple(sorted(map(repr, item[0])))))
+    return maximal

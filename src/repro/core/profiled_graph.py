@@ -1,0 +1,267 @@
+"""The profiled graph: topology + per-vertex P-trees + taxonomy.
+
+This is the central data object of the reproduction (paper §3.1): an
+undirected graph whose every vertex carries an ancestor-closed label set
+anchored in one taxonomy (the GP-tree). It owns the lazily built CP-tree
+index and provides the sampling operations the scalability experiments need
+(Fig. 13 / Fig. 14 e–p): vertex sampling, per-vertex P-tree sampling and
+GP-tree restriction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Optional, Union
+
+from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.index.cptree import CPTree
+from repro.ptree.ptree import PTree
+from repro.ptree.taxonomy import Taxonomy
+
+Vertex = Hashable
+NodeSet = FrozenSet[int]
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The Table 2 statistics of a profiled graph."""
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    average_ptree_size: float
+    gp_tree_size: int
+
+    def row(self) -> tuple:
+        """(n, m, d̂, P̂, |GP-tree|) formatted as in Table 2."""
+        return (
+            self.num_vertices,
+            self.num_edges,
+            round(self.average_degree, 2),
+            round(self.average_ptree_size, 2),
+            self.gp_tree_size,
+        )
+
+
+class ProfiledGraph:
+    """A graph whose vertices carry P-trees from a shared taxonomy.
+
+    Parameters
+    ----------
+    graph:
+        The topology. Vertices without an entry in ``profiles`` get an empty
+        P-tree.
+    taxonomy:
+        The GP-tree.
+    profiles:
+        Mapping vertex → P-tree, label-name iterable, or node-id iterable.
+        Non-closed node sets are closed over ancestors automatically.
+    validate:
+        Verify profile node ids against the taxonomy (default True).
+    """
+
+    __slots__ = ("graph", "taxonomy", "_labels", "_index", "_ptree_cache")
+
+    def __init__(
+        self,
+        graph: Graph,
+        taxonomy: Taxonomy,
+        profiles: Mapping[Vertex, object],
+        validate: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.taxonomy = taxonomy
+        labels: Dict[Vertex, NodeSet] = {}
+        for v, profile in profiles.items():
+            if v not in graph:
+                raise VertexNotFoundError(v)
+            labels[v] = self._coerce_profile(profile, validate)
+        empty: NodeSet = frozenset()
+        for v in graph.vertices():
+            if v not in labels:
+                labels[v] = empty
+        self._labels = labels
+        self._index: Optional[CPTree] = None
+        self._ptree_cache: Dict[Vertex, PTree] = {}
+
+    def _coerce_profile(self, profile: object, validate: bool) -> NodeSet:
+        if isinstance(profile, PTree):
+            if profile.taxonomy is not self.taxonomy:
+                raise InvalidInputError("profile P-tree anchored to a different taxonomy")
+            return profile.nodes
+        nodes = []
+        for item in profile:  # type: ignore[union-attr]
+            if isinstance(item, str):
+                nodes.append(self.taxonomy.id_of(item))
+            else:
+                nodes.append(item)
+        closed = self.taxonomy.closure(nodes) if nodes else frozenset()
+        if validate and nodes and not self.taxonomy.is_ancestor_closed(closed):
+            raise InvalidInputError("profile closure failed — invalid node ids")
+        return closed
+
+    # ------------------------------------------------------------------
+    # profile access
+    # ------------------------------------------------------------------
+    def labels(self, v: Vertex) -> NodeSet:
+        """T(v) as an ancestor-closed frozenset of taxonomy node ids."""
+        try:
+            return self._labels[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def ptree(self, v: Vertex) -> PTree:
+        """T(v) as a :class:`PTree` (cached)."""
+        cached = self._ptree_cache.get(v)
+        if cached is None:
+            cached = PTree(self.taxonomy, self.labels(v), _validated=True)
+            self._ptree_cache[v] = cached
+        return cached
+
+    def all_labels(self) -> Mapping[Vertex, NodeSet]:
+        """The full vertex → label-set mapping (live view; do not mutate)."""
+        return self._labels
+
+    def vertices(self) -> Iterator[Vertex]:
+        return self.graph.vertices()
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self.graph
+
+    def vertices_with_subtree(self, nodes: NodeSet) -> FrozenSet[Vertex]:
+        """All vertices whose P-tree contains the subtree ``nodes`` (naive scan).
+
+        The index-free primitive of the ``basic`` algorithm; O(n) subset
+        checks.
+        """
+        if not nodes:
+            return self.graph.vertex_set()
+        return frozenset(v for v, lab in self._labels.items() if nodes <= lab)
+
+    # ------------------------------------------------------------------
+    # statistics (Table 2)
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def average_ptree_size(self) -> float:
+        """P̂: the mean number of labels per vertex P-tree."""
+        if not self._labels:
+            return 0.0
+        return sum(len(s) for s in self._labels.values()) / len(self._labels)
+
+    def gp_tree(self) -> PTree:
+        """The unified P-tree of all vertices (⊆ the taxonomy)."""
+        union: set = set()
+        for s in self._labels.values():
+            union |= s
+        return PTree(self.taxonomy, frozenset(union), _validated=True)
+
+    def stats(self) -> DatasetStats:
+        """The Table 2 row of this dataset."""
+        return DatasetStats(
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            average_degree=self.graph.average_degree(),
+            average_ptree_size=self.average_ptree_size(),
+            gp_tree_size=self.taxonomy.num_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # index
+    # ------------------------------------------------------------------
+    def index(self, rebuild: bool = False) -> CPTree:
+        """The CP-tree index, built on first use and cached."""
+        if self._index is None or rebuild:
+            self._index = CPTree(self.graph, self._labels, self.taxonomy, validate=False)
+        return self._index
+
+    def has_index(self) -> bool:
+        return self._index is not None
+
+    # ------------------------------------------------------------------
+    # sampling (scalability experiments)
+    # ------------------------------------------------------------------
+    def sample_vertices(self, fraction: float, seed: RandomLike = None) -> "ProfiledGraph":
+        """Keep a random ``fraction`` of the vertices (Fig. 13(a), 14(e–h)).
+
+        P-trees of surviving vertices are kept intact, as in the paper
+        ("vertices' P-trees are fully considered").
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise InvalidInputError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return self
+        rng = _rng(seed)
+        vertices = sorted(self._labels, key=repr)
+        keep = rng.sample(vertices, max(1, int(len(vertices) * fraction)))
+        sub = self.graph.subgraph(keep)
+        profiles = {v: self._labels[v] for v in keep}
+        return ProfiledGraph(sub, self.taxonomy, profiles, validate=False)
+
+    def sample_ptrees(self, fraction: float, seed: RandomLike = None) -> "ProfiledGraph":
+        """Keep ~``fraction`` of each vertex's P-tree nodes (Fig. 13(b), 14(i–l)).
+
+        Sampled node sets are ancestor-closed again, matching "randomly select
+        20%…80% of its P-tree nodes to generate the corresponding subtree".
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise InvalidInputError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return self
+        rng = _rng(seed)
+        tax = self.taxonomy
+        profiles: Dict[Vertex, NodeSet] = {}
+        for v, nodes in self._labels.items():
+            if not nodes:
+                profiles[v] = nodes
+                continue
+            ordered = sorted(nodes)
+            take = max(1, int(len(ordered) * fraction))
+            sampled = rng.sample(ordered, take)
+            profiles[v] = tax.closure(sampled)
+        return ProfiledGraph(self.graph, tax, profiles, validate=False)
+
+    def restrict_gp_tree(self, fraction: float, seed: RandomLike = None) -> "ProfiledGraph":
+        """Keep ~``fraction`` of the GP-tree (Fig. 13(c), 14(m–p)).
+
+        Samples taxonomy nodes, closes them over ancestors, builds the
+        restricted taxonomy and re-anchors every P-tree to it (labels outside
+        the restriction are dropped).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise InvalidInputError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return self
+        rng = _rng(seed)
+        tax = self.taxonomy
+        all_nodes = list(range(tax.num_nodes))
+        take = max(1, int(len(all_nodes) * fraction))
+        sampled = rng.sample(all_nodes, take)
+        new_tax, mapping = tax.restrict(sampled)
+        kept = set(mapping)
+        profiles: Dict[Vertex, NodeSet] = {}
+        for v, nodes in self._labels.items():
+            profiles[v] = frozenset(mapping[x] for x in nodes if x in kept)
+        return ProfiledGraph(self.graph, new_tax, profiles, validate=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProfiledGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"|GP|={self.taxonomy.num_nodes})"
+        )

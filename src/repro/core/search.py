@@ -1,0 +1,92 @@
+"""Unified public entry point for PCS queries.
+
+``pcs(pg, q, k)`` dispatches to one of the five algorithms the paper
+evaluates (``basic``, ``incre``, ``adv-I``, ``adv-D``, ``adv-P``). All five
+return identical community sets (verified by the equivalence test-suite);
+they differ only in work performed, so ``adv-P`` — the paper's consistently
+fastest method — is the default.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.advanced import advanced_query
+from repro.core.basic import basic_query
+from repro.core.closed import closed_query
+from repro.core.cohesion import CohesionModel
+from repro.core.community import PCSResult
+from repro.core.incre import incre_query
+from repro.core.profiled_graph import ProfiledGraph
+from repro.errors import InvalidInputError
+from repro.index.cptree import CPTree
+
+Vertex = Hashable
+
+#: The methods the paper evaluates, in its naming.
+PCS_METHODS = ("basic", "incre", "adv-I", "adv-D", "adv-P")
+
+#: All supported methods: the paper's five plus this library's
+#: closure-jumping extension (see repro.core.closed).
+ALL_METHODS = PCS_METHODS + ("closed",)
+
+
+def pcs(
+    pg: ProfiledGraph,
+    q: Vertex,
+    k: int,
+    method: str = "adv-P",
+    index: Optional[CPTree] = None,
+    cohesion: CohesionModel = None,
+) -> PCSResult:
+    """Profiled community search: all PCs of query vertex ``q`` (Problem 1).
+
+    Parameters
+    ----------
+    pg:
+        The profiled graph.
+    q:
+        Query vertex; must exist in ``pg``.
+    k:
+        Structure-cohesiveness parameter (minimum degree for the default
+        k-core model).
+    method:
+        One of :data:`PCS_METHODS` (case-insensitive). Default ``adv-P``.
+    index:
+        Optional pre-built CP-tree (ignored by ``basic``); when omitted the
+        index-based methods build/reuse ``pg.index()``.
+    cohesion:
+        Optional alternative structure model (``"k-truss"``, ``"k-clique"``
+        or a :class:`~repro.core.cohesion.CohesionModel` instance).
+
+    Returns
+    -------
+    PCSResult
+        One :class:`~repro.core.community.ProfiledCommunity` per maximal
+        feasible subtree of T(q), sorted deterministically.
+
+    Examples
+    --------
+    >>> from repro.datasets import fig1_profiled_graph
+    >>> pg = fig1_profiled_graph()
+    >>> sorted(len(c.vertices) for c in pcs(pg, "D", 2))
+    [3, 3]
+    """
+    if k < 0:
+        raise InvalidInputError(f"k must be non-negative, got {k}")
+    name = method.lower()
+    if name == "basic":
+        return basic_query(pg, q, k, cohesion=cohesion)
+    if name == "incre":
+        return incre_query(pg, q, k, index=index, cohesion=cohesion)
+    if name in ("adv-i", "adv-d", "adv-p"):
+        return advanced_query(
+            pg, q, k, find=name[-1].upper(), index=index, cohesion=cohesion
+        )
+    if name == "closed":
+        if index is None:
+            index = pg.index()
+        return closed_query(pg, q, k, index=index, cohesion=cohesion)
+    raise InvalidInputError(
+        f"unknown PCS method {method!r}; expected one of {ALL_METHODS}"
+    )

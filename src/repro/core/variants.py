@@ -1,0 +1,125 @@
+"""Profile-cohesiveness metric variants (paper §5.3, Fig. 12).
+
+The paper justifies its subtree-based profile cohesiveness by comparing four
+candidate definitions on the same structure constraint (minimum degree):
+
+(a) **common nodes** — maximise the number of shared P-tree *nodes*,
+    ignoring hierarchy (ACQ's keyword cohesiveness with labels as keywords);
+(b) **common paths** — maximise the number of shared root-to-leaf *paths*;
+    because label sets are ancestor-closed, sharing a path is sharing its
+    leaf, so this is keyword cohesiveness over T(q)'s leaves;
+(c) **common subtree** — the PCS definition itself (Problem 1);
+(d) **similarity** — a threshold on pairwise P-tree similarity against the
+    query ("given a threshold, find all vertices with a budgeted similarity
+    score", which the paper attributes to ATC-style definitions).
+
+Each variant returns communities in the shared :class:`ProfiledCommunity`
+shape; the reported subtree is always the *actual* maximal common subtree of
+the members, so CPS/LDR/CPF comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, FrozenSet, Hashable, List
+
+from repro.core.community import PCSResult, ProfiledCommunity
+from repro.core.keywords import keyword_communities
+from repro.core.profiled_graph import ProfiledGraph
+from repro.core.relaxed import similarity_filtered_graph
+from repro.core.search import pcs
+from repro.errors import InvalidInputError
+from repro.graph.core import k_core_within
+from repro.ptree.ptree import PTree
+
+Vertex = Hashable
+
+
+def _wrap(
+    pg: ProfiledGraph,
+    q: Vertex,
+    k: int,
+    method: str,
+    pairs,
+    elapsed: float,
+) -> PCSResult:
+    """Package (keyword set, members) pairs with true common subtrees."""
+    communities: List[ProfiledCommunity] = []
+    seen: set = set()
+    for _, members in pairs:
+        if members in seen:
+            continue
+        seen.add(members)
+        common = None
+        for v in members:
+            labels = pg.labels(v)
+            common = labels if common is None else (common & labels)
+        subtree = PTree(pg.taxonomy, common or frozenset(), _validated=True)
+        communities.append(
+            ProfiledCommunity(query=q, k=k, vertices=members, subtree=subtree)
+        )
+    return PCSResult(
+        query=q,
+        k=k,
+        method=method,
+        communities=communities,
+        elapsed_seconds=elapsed,
+    ).sort()
+
+
+def variant_common_nodes(pg: ProfiledGraph, q: Vertex, k: int) -> PCSResult:
+    """Metric (a): maximise the count of shared P-tree nodes (flat labels)."""
+    start = time.perf_counter()
+    vertex_keywords = pg.all_labels()
+    pairs = keyword_communities(pg.graph, vertex_keywords, q, k)
+    return _wrap(pg, q, k, "metric-a-nodes", pairs, time.perf_counter() - start)
+
+
+def variant_common_paths(pg: ProfiledGraph, q: Vertex, k: int) -> PCSResult:
+    """Metric (b): maximise the count of shared root-to-leaf paths.
+
+    A vertex shares the path to leaf t iff t ∈ T(v) (ancestor closure), so
+    the paths of T(q) act as keywords identified by their leaf labels.
+    """
+    start = time.perf_counter()
+    tax = pg.taxonomy
+    base = pg.labels(q)
+    base_leaves = frozenset(
+        x for x in base if not any(c in base for c in tax.children(x))
+    )
+    vertex_keywords: Dict[Vertex, FrozenSet[int]] = {
+        v: labels & base_leaves for v, labels in pg.all_labels().items()
+    }
+    pairs = keyword_communities(pg.graph, vertex_keywords, q, k)
+    return _wrap(pg, q, k, "metric-b-paths", pairs, time.perf_counter() - start)
+
+
+def variant_common_subtree(
+    pg: ProfiledGraph, q: Vertex, k: int, method: str = "adv-P"
+) -> PCSResult:
+    """Metric (c): the PCS definition (maximal common subtree)."""
+    result = pcs(pg, q, k, method=method)
+    result.method = "metric-c-subtree"
+    return result
+
+
+def variant_similarity(
+    pg: ProfiledGraph, q: Vertex, k: int, beta: float = 0.5
+) -> PCSResult:
+    """Metric (d): one community of vertices β-similar to q (k-ĉore of them)."""
+    if not 0.0 <= beta <= 1.0:
+        raise InvalidInputError(f"beta must be in [0, 1], got {beta}")
+    start = time.perf_counter()
+    filtered = similarity_filtered_graph(pg, q, beta)
+    members = k_core_within(filtered.graph, filtered.graph.vertices(), k, q=q)
+    pairs = [(frozenset(), members)] if members else []
+    return _wrap(pg, q, k, "metric-d-similarity", pairs, time.perf_counter() - start)
+
+
+#: Registry used by the Fig. 12 benchmark: metric key → callable.
+METRIC_VARIANTS: Dict[str, Callable[[ProfiledGraph, Vertex, int], PCSResult]] = {
+    "a": variant_common_nodes,
+    "b": variant_common_paths,
+    "c": variant_common_subtree,
+    "d": variant_similarity,
+}

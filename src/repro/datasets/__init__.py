@@ -1,0 +1,54 @@
+"""Dataset suite: the paper's Fig. 1 example, Table 2 and Table 4 analogues.
+
+All datasets are generated deterministically from seeds (DESIGN.md §4
+documents the substitution of the paper's proprietary dumps).
+"""
+
+from repro.datasets.ego import EGO_SPECS, EgoSpec, ego_names, load_ego_network
+from repro.datasets.fig1 import fig1_profiled_graph, fig1_taxonomy
+from repro.datasets.io import load_profiled_graph, save_profiled_graph
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    DEFAULT_SCALE,
+    DatasetSpec,
+    dataset_names,
+    dataset_taxonomy,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    hash_token_to_leaf,
+    simple_profiled_graph,
+    synthetic_profiled_graph,
+)
+from repro.datasets.taxonomies import (
+    ccs_fragment,
+    ccs_like_taxonomy,
+    mesh_like_taxonomy,
+    synthetic_taxonomy,
+)
+
+__all__ = [
+    "fig1_profiled_graph",
+    "fig1_taxonomy",
+    "ccs_fragment",
+    "synthetic_taxonomy",
+    "ccs_like_taxonomy",
+    "mesh_like_taxonomy",
+    "SyntheticConfig",
+    "synthetic_profiled_graph",
+    "simple_profiled_graph",
+    "hash_token_to_leaf",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "DEFAULT_SCALE",
+    "dataset_names",
+    "dataset_taxonomy",
+    "load_dataset",
+    "EgoSpec",
+    "EGO_SPECS",
+    "ego_names",
+    "load_ego_network",
+    "save_profiled_graph",
+    "load_profiled_graph",
+]

@@ -1,0 +1,79 @@
+"""The paper's running example (Fig. 1 / Fig. 2 / Fig. 4 / Fig. 5).
+
+A computer-science collaboration network of eight researchers A–H, each with
+a P-tree over the Fig. 1(c) abbreviations:
+
+* CM — Computing Methodology (children ML, AI);
+* IS — Information Systems (child DMS — Data Management System);
+* HW — Hardware.
+
+The topology reproduces Example 1: {A, B, D, E} is a 3-ĉore, {A, B, C, D, E}
+a 2-ĉore (C has degree 2), and {F, G, H} a separate triangle — so the
+CL-tree has the exact shape of Fig. 4(b): a virtual root with children
+2:{C} → 3:{A,B,D,E} and 2:{F,G,H}.
+
+The profiles are chosen so PCS(q=D, k=2) returns exactly the paper's two
+PCs of Fig. 2: {B, C, D} sharing the subtree r→CM→{ML, AI} (four labels),
+and {A, D, E} sharing r→IS→DMS ("the subtree with root r and leaf nodes IS
+and DMS", three labels). ACQ maximises the flat shared-label count, so it
+returns only the first — the paper's motivating failure case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.profiled_graph import ProfiledGraph
+from repro.graph.graph import Graph
+from repro.ptree.taxonomy import Taxonomy
+
+#: Edges of the Fig. 1(a) collaboration graph.
+_EDGES = (
+    ("A", "B"),
+    ("A", "D"),
+    ("A", "E"),
+    ("B", "D"),
+    ("B", "E"),
+    ("D", "E"),
+    ("B", "C"),
+    ("C", "D"),
+    ("F", "G"),
+    ("G", "H"),
+    ("F", "H"),
+)
+
+#: Vertex → label names (ancestor closure is taken automatically).
+_PROFILES: Dict[str, Tuple[str, ...]] = {
+    "A": ("CM", "IS", "DMS", "HW"),
+    "B": ("CM", "ML", "AI"),
+    "C": ("CM", "ML", "AI"),
+    "D": ("CM", "ML", "AI", "IS", "DMS", "HW"),
+    "E": ("IS", "DMS"),
+    "F": ("IS", "HW"),
+    "G": ("CM", "HW"),
+    "H": ("IS", "HW"),
+}
+
+
+def fig1_taxonomy() -> Taxonomy:
+    """The Fig. 1(c) abbreviation taxonomy (root ``r``)."""
+    tax = Taxonomy(root_name="r")
+    cm = tax.add("CM")
+    tax.add("ML", parent=cm)
+    tax.add("AI", parent=cm)
+    is_ = tax.add("IS")
+    tax.add("DMS", parent=is_)
+    tax.add("HW")
+    return tax
+
+
+def fig1_profiled_graph() -> ProfiledGraph:
+    """The full profiled graph of Fig. 1(a).
+
+    >>> pg = fig1_profiled_graph()
+    >>> pg.num_vertices, pg.num_edges
+    (8, 11)
+    """
+    graph = Graph(_EDGES)
+    tax = fig1_taxonomy()
+    return ProfiledGraph(graph, tax, dict(_PROFILES))

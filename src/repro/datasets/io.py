@@ -1,0 +1,80 @@
+"""JSON serialisation of profiled graphs.
+
+One self-contained document stores the taxonomy (names + parent array), the
+edge list, and per-vertex profiles. Profiles are stored as P-tree *leaf*
+node ids only (the ancestor closure is recomputed on load), which matches
+the CP-tree headMap representation and keeps files small.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.profiled_graph import ProfiledGraph
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+from repro.ptree.taxonomy import ROOT, Taxonomy
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro-profiled-graph-v1"
+
+
+def save_profiled_graph(pg: ProfiledGraph, path: PathLike) -> None:
+    """Write ``pg`` to ``path`` as JSON (vertices must be str or int)."""
+    tax = pg.taxonomy
+    names = [tax.name(i) for i in range(tax.num_nodes)]
+    parents = [tax.parent(i) for i in range(tax.num_nodes)]
+    profiles: Dict[str, list] = {}
+    kinds = set()
+    for v in pg.vertices():
+        kinds.add(type(v).__name__)
+        labels = pg.labels(v)
+        leaves = [
+            x for x in labels if not any(c in labels for c in tax.children(x))
+        ]
+        profiles[str(v)] = sorted(leaves)
+    if kinds - {"int", "str"}:
+        raise InvalidInputError(
+            f"JSON serialisation supports int/str vertices, found {sorted(kinds)}"
+        )
+    doc = {
+        "format": _FORMAT,
+        "vertex_type": "int" if kinds <= {"int"} else "str",
+        "taxonomy": {"names": names, "parents": parents},
+        "edges": [[str(u), str(v)] for u, v in pg.graph.edges()],
+        "profiles": profiles,
+    }
+    Path(path).write_text(json.dumps(doc), encoding="utf-8")
+
+
+def load_profiled_graph(path: PathLike) -> ProfiledGraph:
+    """Read a profiled graph written by :func:`save_profiled_graph`."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("format") != _FORMAT:
+        raise InvalidInputError(f"{path}: not a {_FORMAT} document")
+    names = doc["taxonomy"]["names"]
+    parents = doc["taxonomy"]["parents"]
+    if not names or parents[0] != -1:
+        raise InvalidInputError(f"{path}: malformed taxonomy")
+    tax = Taxonomy(root_name=names[ROOT])
+    for node_id in range(1, len(names)):
+        parent = parents[node_id]
+        if not 0 <= parent < node_id:
+            raise InvalidInputError(
+                f"{path}: taxonomy parents must reference earlier nodes"
+            )
+        tax.add(names[node_id], parent=parent)
+    convert = int if doc.get("vertex_type") == "int" else str
+    graph = Graph()
+    for v_str in doc["profiles"]:
+        graph.add_vertex(convert(v_str))
+    for u, v in doc["edges"]:
+        graph.add_edge(convert(u), convert(v))
+    profiles = {
+        convert(v_str): tax.closure(leaves)
+        for v_str, leaves in doc["profiles"].items()
+    }
+    return ProfiledGraph(graph, tax, profiles, validate=False)

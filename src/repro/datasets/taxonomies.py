@@ -1,0 +1,160 @@
+"""Taxonomy builders: a real ACM CCS fragment and synthetic GP-trees.
+
+The paper anchors ACMDL / Flickr / DBLP profiles in the ACM Computing
+Classification System (1,908 labels) and PubMed profiles in MeSH (10,132
+labels). We provide:
+
+* :func:`ccs_fragment` — a hand-written genuine CCS excerpt (the part shown
+  in the paper's Fig. 1), used by the toy dataset and the case study;
+* :func:`synthetic_taxonomy` — seeded random taxonomies with controlled
+  size, depth and branching, the substitutes for full CCS / MeSH
+  (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from repro.errors import InvalidInputError
+from repro.ptree.taxonomy import Taxonomy
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+#: (path of label names) — the CCS subtree of the paper's Fig. 1(b) plus the
+#: abbreviations of Fig. 1(c).
+_CCS_PATHS = (
+    ("Hardware",),
+    ("Information systems",),
+    ("Information systems", "Information retrieval"),
+    ("Information systems", "Information retrieval", "Retrieval tasks and goals"),
+    (
+        "Information systems",
+        "Information retrieval",
+        "Retrieval tasks and goals",
+        "Document filtering",
+    ),
+    (
+        "Information systems",
+        "Information retrieval",
+        "Retrieval tasks and goals",
+        "Information extraction",
+    ),
+    ("Information systems", "Information retrieval", "Data management systems"),
+    (
+        "Information systems",
+        "Information retrieval",
+        "Data management systems",
+        "Database design and models",
+    ),
+    (
+        "Information systems",
+        "Information retrieval",
+        "Data management systems",
+        "Data structures",
+    ),
+    (
+        "Information systems",
+        "Information retrieval",
+        "Data management systems",
+        "Information integration",
+    ),
+    ("Information systems", "Information storage systems"),
+    ("Information systems", "World Wide Web"),
+    ("Information systems", "Information systems applications"),
+    ("Software and its engineering",),
+    ("Computer systems organization",),
+    ("Computer systems organization", "Architectures"),
+    ("Computing methodologies",),
+    ("Computing methodologies", "Machine learning"),
+    ("Computing methodologies", "Artificial intelligence"),
+    ("Human-centered computing",),
+    ("Human-centered computing", "Collaborative and social computing"),
+    ("Human-centered computing", "Visualization"),
+)
+
+
+def ccs_fragment() -> Taxonomy:
+    """A genuine ACM CCS fragment (the paper's Fig. 1(b) subtree).
+
+    23 labels including the root; used by the case-study example and tests.
+    """
+    tax = Taxonomy(root_name="CCS")
+    for path in _CCS_PATHS:
+        tax.add_path(path)
+    return tax
+
+
+def synthetic_taxonomy(
+    num_nodes: int,
+    seed: RandomLike = None,
+    max_depth: int = 6,
+    max_children: int = 12,
+    name_prefix: str = "c",
+) -> Taxonomy:
+    """A seeded random taxonomy shaped like a subject classification system.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total label count including the root (e.g. 1908 for CCS-like,
+        10132 for MeSH-like).
+    seed:
+        Seed or ``random.Random``; equal seeds give identical taxonomies.
+    max_depth:
+        Maximum node depth (CCS is ~6 levels deep).
+    max_children:
+        Branching cap per node.
+    name_prefix:
+        Labels are named ``{prefix}{id}``.
+
+    Notes
+    -----
+    Parents are drawn with probability decaying in depth, giving the bushy,
+    shallow shape of real classification systems (most mass on levels 2–4).
+    """
+    if num_nodes < 1:
+        raise InvalidInputError(f"num_nodes must be >= 1, got {num_nodes}")
+    if max_depth < 1:
+        raise InvalidInputError(f"max_depth must be >= 1, got {max_depth}")
+    rng = _rng(seed)
+    tax = Taxonomy(root_name=f"{name_prefix}0")
+    child_count = {0: 0}
+    # Eligible parents; chosen by rejection sampling with acceptance
+    # probability decaying in depth (O(1) amortised per node).
+    eligible = [0]
+    for node_id in range(1, num_nodes):
+        while True:
+            idx = rng.randrange(len(eligible))
+            parent = eligible[idx]
+            if child_count[parent] >= max_children:
+                # Saturated: swap-remove and retry.
+                eligible[idx] = eligible[-1]
+                eligible.pop()
+                continue
+            accept = 1.0 / (1.0 + tax.depth(parent))
+            if rng.random() < accept:
+                break
+        new = tax.add(f"{name_prefix}{node_id}", parent=parent)
+        child_count[parent] += 1
+        child_count[new] = 0
+        if tax.depth(new) < max_depth:
+            eligible.append(new)
+    return tax
+
+
+def ccs_like_taxonomy(num_nodes: int = 1908, seed: RandomLike = 20190116) -> Taxonomy:
+    """A CCS-sized synthetic taxonomy (1,908 labels as in Table 2)."""
+    return synthetic_taxonomy(num_nodes, seed=seed, max_depth=6, max_children=12, name_prefix="ccs")
+
+
+def mesh_like_taxonomy(num_nodes: int = 10132, seed: RandomLike = 20190116) -> Taxonomy:
+    """A MeSH-sized synthetic taxonomy (10,132 labels as in Table 2)."""
+    return synthetic_taxonomy(num_nodes, seed=seed, max_depth=9, max_children=24, name_prefix="mesh")

@@ -1,0 +1,6 @@
+"""Dynamic maintenance: incremental cores and lazily repaired CP-trees."""
+
+from repro.dynamic.core_maintenance import DynamicCoreIndex
+from repro.dynamic.profiled import DynamicProfiledGraph
+
+__all__ = ["DynamicCoreIndex", "DynamicProfiledGraph"]

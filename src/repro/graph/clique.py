@@ -1,0 +1,109 @@
+"""k-clique communities via clique percolation.
+
+The paper lists k-clique communities (Cui et al., SIGMOD'13) as an alternative
+structure-cohesiveness metric for PCS (§1, §6). A k-clique community is the
+union of all k-cliques reachable from one another through a chain of k-cliques
+that overlap in k − 1 vertices (clique percolation, Palla et al.).
+
+This implementation enumerates maximal cliques with the Bron–Kerbosch
+algorithm (with pivoting), splits them into the k-clique adjacency structure,
+and percolates. It is meant for the moderate-size subgraphs that PCS
+feasibility checks produce, not for whole social networks.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+
+Vertex = Hashable
+
+EMPTY: FrozenSet[Vertex] = frozenset()
+
+
+def maximal_cliques(graph: Graph) -> Iterator[FrozenSet[Vertex]]:
+    """Yield all maximal cliques (Bron–Kerbosch with pivoting)."""
+    adj = graph.adjacency()
+
+    def expand(r: Set[Vertex], p: Set[Vertex], x: Set[Vertex]) -> Iterator[FrozenSet[Vertex]]:
+        if not p and not x:
+            yield frozenset(r)
+            return
+        pivot = max(p | x, key=lambda u: len(adj[u] & p))
+        for v in list(p - adj[pivot]):
+            yield from expand(r | {v}, p & adj[v], x & adj[v])
+            p.discard(v)
+            x.add(v)
+
+    yield from expand(set(), set(adj), set())
+
+
+def k_clique_communities(graph: Graph, k: int) -> List[FrozenSet[Vertex]]:
+    """All k-clique (percolation) communities, largest first."""
+    if k < 2:
+        raise InvalidInputError(f"k-clique communities require k >= 2, got {k}")
+    cliques = [c for c in maximal_cliques(graph) if len(c) >= k]
+    if not cliques:
+        return []
+    # Union-find over cliques: two cliques join when they share >= k-1 vertices.
+    parent = list(range(len(cliques)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    # Index cliques by vertex to avoid the quadratic all-pairs scan.
+    by_vertex: dict = {}
+    for idx, clique in enumerate(cliques):
+        for v in clique:
+            by_vertex.setdefault(v, []).append(idx)
+    for idx, clique in enumerate(cliques):
+        neighbours: Set[int] = set()
+        for v in clique:
+            neighbours.update(by_vertex[v])
+        neighbours.discard(idx)
+        for jdx in neighbours:
+            if jdx > idx and len(clique & cliques[jdx]) >= k - 1:
+                union(idx, jdx)
+    groups: dict = {}
+    for idx, clique in enumerate(cliques):
+        groups.setdefault(find(idx), set()).update(clique)
+    communities = [frozenset(g) for g in groups.values()]
+    communities.sort(key=len, reverse=True)
+    return communities
+
+
+def k_clique_community_of(graph: Graph, q: Vertex, k: int) -> FrozenSet[Vertex]:
+    """The k-clique community containing ``q`` (largest if several), or empty."""
+    best: FrozenSet[Vertex] = EMPTY
+    for community in k_clique_communities(graph, k):
+        if q in community and len(community) > len(best):
+            best = community
+    return best
+
+
+def k_clique_within(
+    graph: Graph,
+    candidates: Iterable[Vertex],
+    k: int,
+    q: Optional[Vertex] = None,
+) -> FrozenSet[Vertex]:
+    """k-clique community inside ``G[candidates]``; mirrors ``k_core_within``."""
+    sub = graph.subgraph(candidates)
+    if q is not None:
+        if q not in sub:
+            return EMPTY
+        return k_clique_community_of(sub, q, k)
+    merged: Set[Vertex] = set()
+    for community in k_clique_communities(sub, k):
+        merged.update(community)
+    return frozenset(merged)

@@ -1,0 +1,143 @@
+"""Directed simple graph, substrate for the D-core extension.
+
+The paper's conclusion (§6) proposes extending PCS to directed profiled graphs
+using the D-core — the maximal subgraph in which every vertex has in-degree at
+least ``k`` and out-degree at least ``l``. This module provides the directed
+graph container; :mod:`repro.graph.dcore` implements the decomposition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+from repro.errors import InvalidInputError, VertexNotFoundError
+
+Vertex = Hashable
+Arc = Tuple[Vertex, Vertex]
+
+
+class DiGraph:
+    """A directed simple graph backed by out- and in-adjacency sets."""
+
+    __slots__ = ("_out", "_in", "_num_arcs")
+
+    def __init__(self, arcs: Iterable[Arc] = ()) -> None:
+        self._out: Dict[Vertex, Set[Vertex]] = {}
+        self._in: Dict[Vertex, Set[Vertex]] = {}
+        self._num_arcs = 0
+        for u, v in arcs:
+            self.add_arc(u, v)
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex; a no-op if present."""
+        if v not in self._out:
+            self._out[v] = set()
+            self._in[v] = set()
+
+    def add_arc(self, u: Vertex, v: Vertex) -> None:
+        """Add the arc ``u → v``; self-loops are rejected."""
+        if u == v:
+            raise InvalidInputError(f"self-loop on vertex {u!r} is not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v not in self._out[u]:
+            self._out[u].add(v)
+            self._in[v].add(u)
+            self._num_arcs += 1
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all incident arcs."""
+        if v not in self._out:
+            raise VertexNotFoundError(v)
+        for u in self._out[v]:
+            self._in[u].discard(v)
+        for u in self._in[v]:
+            self._out[u].discard(v)
+        self._num_arcs -= len(self._out[v]) + len(self._in[v])
+        del self._out[v]
+        del self._in[v]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_arcs(self) -> int:
+        return self._num_arcs
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._out)
+
+    def arcs(self) -> Iterator[Arc]:
+        for u, nbrs in self._out.items():
+            for v in nbrs:
+                yield (u, v)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def has_arc(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._out and v in self._out[u]
+
+    def successors(self, v: Vertex) -> Set[Vertex]:
+        """Out-neighbours of ``v`` (live view)."""
+        try:
+            return self._out[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def predecessors(self, v: Vertex) -> Set[Vertex]:
+        """In-neighbours of ``v`` (live view)."""
+        try:
+            return self._in[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def out_degree(self, v: Vertex) -> int:
+        return len(self.successors(v))
+
+    def in_degree(self, v: Vertex) -> int:
+        return len(self.predecessors(v))
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "DiGraph":
+        """Induced directed subgraph on ``keep``."""
+        keep_set = {v for v in keep if v in self._out}
+        g = DiGraph()
+        for v in keep_set:
+            g.add_vertex(v)
+        for v in keep_set:
+            for u in self._out[v] & keep_set:
+                g.add_arc(v, u)
+        return g
+
+    def to_undirected(self) -> "Graph":
+        """Forget directions (used to check weak connectivity)."""
+        from repro.graph.graph import Graph
+
+        g = Graph()
+        for v in self._out:
+            g.add_vertex(v)
+        for u, v in self.arcs():
+            g.add_edge(u, v)
+        return g
+
+    def weakly_connected_component(self, source: Vertex) -> FrozenSet[Vertex]:
+        """Vertices reachable from ``source`` ignoring arc directions."""
+        if source not in self._out:
+            raise VertexNotFoundError(source)
+        seen: Set[Vertex] = {source}
+        queue: deque = deque((source,))
+        while queue:
+            u = queue.popleft()
+            for w in self._out[u] | self._in[u]:
+                if w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+        return frozenset(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiGraph(n={self.num_vertices}, arcs={self.num_arcs})"

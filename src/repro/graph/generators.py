@@ -1,0 +1,235 @@
+"""Seeded random graph generators.
+
+These supply the topology half of the synthetic datasets (the taxonomy /
+P-tree half lives in :mod:`repro.datasets`). All generators take an explicit
+``random.Random`` seed or instance so dataset construction is reproducible.
+
+Three families are provided:
+
+* :func:`preferential_attachment_graph` — Barabási–Albert-style scale-free
+  graphs, used for degree-calibrated co-authorship-like topologies;
+* :func:`planted_community_graph` — overlapping planted communities with
+  dense intra-community wiring, the workhorse for PCS evaluation (the planted
+  groups later receive taxonomy "themes");
+* :func:`gnp_graph` — Erdős–Rényi, used in tests and as background noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    """Coerce an int seed / Random instance / None into a Random instance."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def gnp_graph(n: int, p: float, seed: RandomLike = None) -> Graph:
+    """Erdős–Rényi G(n, p) on vertices ``0..n-1``.
+
+    Uses geometric skipping so the cost is proportional to the number of
+    edges, not n².
+    """
+    if n < 0:
+        raise InvalidInputError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise InvalidInputError(f"p must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    g = Graph()
+    g.add_vertices(range(n))
+    if p == 0.0 or n < 2:
+        return g
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                g.add_edge(u, v)
+        return g
+    # Geometric jump over the implicit list of all pairs.
+    import math
+
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            g.add_edge(v, w)
+    return g
+
+
+def preferential_attachment_graph(n: int, m_per_vertex: int, seed: RandomLike = None) -> Graph:
+    """Barabási–Albert graph: each new vertex attaches to ``m_per_vertex`` targets.
+
+    Produces a connected scale-free graph on ``0..n-1`` with roughly
+    ``m_per_vertex * n`` edges, approximating the heavy-tailed degree
+    distributions of co-authorship networks.
+    """
+    if m_per_vertex < 1:
+        raise InvalidInputError(f"m_per_vertex must be >= 1, got {m_per_vertex}")
+    if n <= m_per_vertex:
+        raise InvalidInputError(
+            f"n must exceed m_per_vertex ({m_per_vertex}), got {n}"
+        )
+    rng = _rng(seed)
+    g = Graph()
+    g.add_vertices(range(n))
+    # Start from a star over the first m_per_vertex + 1 vertices so every
+    # early vertex already has positive degree.
+    repeated: List[int] = []
+    for v in range(1, m_per_vertex + 1):
+        g.add_edge(0, v)
+        repeated.extend((0, v))
+    for v in range(m_per_vertex + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < m_per_vertex:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            g.add_edge(v, t)
+            repeated.extend((v, t))
+    return g
+
+
+def planted_community_graph(
+    n: int,
+    num_communities: int,
+    avg_community_size: int,
+    p_in: float = 0.35,
+    p_out_degree: float = 2.0,
+    overlap: float = 0.15,
+    seed: RandomLike = None,
+) -> Tuple[Graph, List[Set[int]]]:
+    """Overlapping planted communities plus background noise edges.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (ids ``0..n-1``).
+    num_communities:
+        Number of planted groups.
+    avg_community_size:
+        Expected group size; actual sizes vary ±50%.
+    p_in:
+        Intra-community edge probability.
+    p_out_degree:
+        Expected number of random background edges per vertex.
+    overlap:
+        Fraction of each community drawn as a contiguous *block* of one
+        earlier community (creates overlapping groups, as in ego-net
+        circles). Overlaps are blocky rather than scattered: when two real
+        communities share members they share a cohesive subgroup, and a
+        blocky overlap keeps that subgroup dense enough to be a community
+        of its own inside the intersection.
+    seed:
+        Seed or ``random.Random``.
+
+    Returns
+    -------
+    (graph, communities):
+        The graph and the list of planted vertex sets (ground truth).
+    """
+    if n <= 0:
+        raise InvalidInputError(f"n must be positive, got {n}")
+    if num_communities < 0:
+        raise InvalidInputError(f"num_communities must be >= 0, got {num_communities}")
+    if not 0.0 <= overlap <= 1.0:
+        raise InvalidInputError(f"overlap must be in [0, 1], got {overlap}")
+    rng = _rng(seed)
+    g = Graph()
+    g.add_vertices(range(n))
+    communities: List[Set[int]] = []
+    all_vertices = list(range(n))
+    # Fresh members come from the unassigned pool while it lasts, so a
+    # community's non-block majority belongs to it primarily — without this,
+    # late communities would consist of other communities' members and share
+    # no profile theme at all.
+    pool = list(range(n))
+    rng.shuffle(pool)
+    for _ in range(num_communities):
+        low = max(3, avg_community_size // 2)
+        high = max(low + 1, (avg_community_size * 3) // 2)
+        size = rng.randint(low, high)
+        size = min(size, n)
+        members: Set[int] = set()
+        n_overlap = int(size * overlap)
+        if communities and n_overlap:
+            donor = sorted(communities[rng.randrange(len(communities))])
+            block = rng.sample(donor, min(n_overlap, len(donor)))
+            members.update(block)
+        while len(members) < size and pool:
+            members.add(pool.pop())
+        while len(members) < size:
+            members.add(rng.randrange(n))
+        communities.append(members)
+        member_list = sorted(members)
+        for i, u in enumerate(member_list):
+            for v in member_list[i + 1 :]:
+                if rng.random() < p_in:
+                    g.add_edge(u, v)
+    # Background noise: expected p_out_degree random edges per vertex.
+    num_noise = int(n * p_out_degree / 2)
+    for _ in range(num_noise):
+        u = rng.choice(all_vertices)
+        v = rng.choice(all_vertices)
+        if u != v:
+            g.add_edge(u, v)
+    return g, communities
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """Deterministic test fixture: cliques joined in a ring by single edges."""
+    if num_cliques < 1 or clique_size < 2:
+        raise InvalidInputError("need num_cliques >= 1 and clique_size >= 2")
+    g = Graph()
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+    for c in range(num_cliques):
+        u = c * clique_size
+        v = ((c + 1) % num_cliques) * clique_size
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def random_queries(
+    graph: Graph,
+    count: int,
+    k: int,
+    seed: RandomLike = None,
+    restrict_to: Optional[Sequence] = None,
+) -> List:
+    """Sample ``count`` query vertices from the k-core of ``graph``.
+
+    Mirrors the paper's workload: "we randomly select 100 query vertices from
+    the 6-core". Falls back to the densest available core when the k-core is
+    empty so workloads never silently end up empty.
+    """
+    from repro.graph.core import core_numbers
+
+    rng = _rng(seed)
+    core = core_numbers(graph)
+    pool = [v for v, c in core.items() if c >= k]
+    while not pool and k > 0:
+        k -= 1
+        pool = [v for v, c in core.items() if c >= k]
+    if restrict_to is not None:
+        allowed = set(restrict_to)
+        pool = [v for v in pool if v in allowed]
+    if not pool:
+        return []
+    if count >= len(pool):
+        return sorted(pool)
+    return rng.sample(sorted(pool), count)

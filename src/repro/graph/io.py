@@ -1,0 +1,60 @@
+"""Plain-text edge-list serialisation for graphs.
+
+Format: one edge per line, two whitespace-separated vertex tokens. Lines
+starting with ``#`` are comments. Isolated vertices are recorded in a header
+comment ``# vertices: <count>`` when writing integer-labelled graphs, and as
+single-token lines otherwise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as an edge list (vertices rendered with str)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"# repro graph n={graph.num_vertices} m={graph.num_edges}\n")
+        degrees = graph.adjacency()
+        for v in graph.vertices():
+            if not degrees[v]:
+                fh.write(f"{v}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: PathLike, int_vertices: bool = True) -> Graph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    int_vertices:
+        Parse vertex tokens as integers (the default); otherwise keep strings.
+    """
+    path = Path(path)
+    g = Graph()
+    convert = int if int_vertices else str
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) == 1:
+                g.add_vertex(convert(parts[0]))
+            elif len(parts) == 2:
+                g.add_edge(convert(parts[0]), convert(parts[1]))
+            else:
+                raise InvalidInputError(
+                    f"{path}:{lineno}: expected 1 or 2 tokens, got {len(parts)}"
+                )
+    return g

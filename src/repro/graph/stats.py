@@ -1,0 +1,104 @@
+"""Descriptive graph statistics (dataset validation and reporting).
+
+Small, dependency-free measures used when calibrating the synthetic
+datasets against the paper's Table 2 and for sanity-checking generated
+topologies: degree distributions, clustering, core spectra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.core import core_numbers
+from repro.graph.graph import Graph
+
+Vertex = Hashable
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """degree → number of vertices with that degree."""
+    histogram: Dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def local_clustering(graph: Graph, v: Vertex) -> float:
+    """Local clustering coefficient of ``v`` (0.0 for degree < 2)."""
+    neighbors = sorted(graph.neighbors(v), key=repr)
+    d = len(neighbors)
+    if d < 2:
+        return 0.0
+    adj = graph.adjacency()
+    links = 0
+    for i, a in enumerate(neighbors):
+        nbrs_a = adj[a]
+        for b in neighbors[i + 1 :]:
+            if b in nbrs_a:
+                links += 1
+    return 2.0 * links / (d * (d - 1))
+
+
+def average_clustering(graph: Graph, sample: int = 0, seed: int = 0) -> float:
+    """Mean local clustering; ``sample > 0`` estimates on a seeded sample."""
+    vertices = sorted(graph.vertices(), key=repr)
+    if not vertices:
+        return 0.0
+    if sample and sample < len(vertices):
+        import random
+
+        vertices = random.Random(seed).sample(vertices, sample)
+    return sum(local_clustering(graph, v) for v in vertices) / len(vertices)
+
+
+def core_spectrum(graph: Graph) -> Dict[int, int]:
+    """core number → number of vertices anchored at it."""
+    spectrum: Dict[int, int] = {}
+    for c in core_numbers(graph).values():
+        spectrum[c] = spectrum.get(c, 0) + 1
+    return spectrum
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-call descriptive summary of a topology."""
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    degeneracy: int
+    average_clustering: float
+    num_components: int
+    largest_component: int
+
+    def row(self) -> Tuple:
+        return (
+            self.num_vertices,
+            self.num_edges,
+            round(self.average_degree, 2),
+            self.max_degree,
+            self.degeneracy,
+            round(self.average_clustering, 3),
+            self.num_components,
+            self.largest_component,
+        )
+
+
+def summarize_graph(graph: Graph, clustering_sample: int = 500) -> GraphSummary:
+    """Compute a :class:`GraphSummary` (clustering sampled on large graphs)."""
+    components = graph.connected_components()
+    degrees = [graph.degree(v) for v in graph.vertices()]
+    spectrum = core_spectrum(graph)
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree(),
+        max_degree=max(degrees, default=0),
+        degeneracy=max(spectrum, default=0),
+        average_clustering=average_clustering(graph, sample=clustering_sample),
+        num_components=len(components),
+        largest_component=len(components[0]) if components else 0,
+    )

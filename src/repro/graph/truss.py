@@ -1,0 +1,128 @@
+"""Truss decomposition and k-truss extraction.
+
+The paper (§1 and §6) notes that the minimum-degree metric in the PCS
+definition can be replaced by other structure-cohesiveness metrics such as
+the k-truss [Huang et al., SIGMOD'14]. This module provides the substrate for
+that extension: a k-truss is the largest subgraph in which every edge is
+contained in at least ``k − 2`` triangles *inside the subgraph*.
+
+The implementation is the standard peeling algorithm: compute edge supports,
+then repeatedly remove the edge of minimum support, updating the supports of
+the triangles it participated in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+EMPTY: FrozenSet[Vertex] = frozenset()
+
+
+def _sorted_pair(u: Vertex, v: Vertex) -> Edge:
+    """Canonical ordering for an undirected edge key."""
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def edge_supports(graph: Graph) -> Dict[Edge, int]:
+    """Number of triangles containing each edge.
+
+    Edge keys are normalised pairs; ``supports[(u, v)]`` with ``u <= v``.
+    """
+    adj = graph.adjacency()
+    supports: Dict[Edge, int] = {}
+    for u, v in graph.edges():
+        common = adj[u] & adj[v]
+        supports[_sorted_pair(u, v)] = len(common)
+    return supports
+
+
+def truss_numbers(graph: Graph) -> Dict[Edge, int]:
+    """Truss number of every edge.
+
+    The truss number of edge ``e`` is the largest ``k`` such that ``e``
+    belongs to the k-truss. Edges in no triangle get truss number 2.
+    """
+    support = edge_supports(graph)
+    if not support:
+        return {}
+    # Work on a mutable adjacency copy so we can delete edges as we peel.
+    adj: Dict[Vertex, Set[Vertex]] = {v: set(ns) for v, ns in graph.adjacency().items()}
+    max_support = max(support.values())
+    buckets = [set() for _ in range(max_support + 1)]
+    for e, s in support.items():
+        buckets[s].add(e)
+    truss: Dict[Edge, int] = {}
+    current = 0
+    for _ in range(len(support)):
+        while not buckets[current]:
+            current += 1
+        u, v = edge = next(iter(buckets[current]))
+        buckets[current].discard(edge)
+        truss[edge] = current + 2
+        common = adj[u] & adj[v]
+        for w in common:
+            for other in (_sorted_pair(u, w), _sorted_pair(v, w)):
+                s = support[other]
+                if other not in truss and s > current:
+                    buckets[s].discard(other)
+                    support[other] = s - 1
+                    buckets[s - 1].add(other)
+        adj[u].discard(v)
+        adj[v].discard(u)
+    return truss
+
+
+def k_truss_edges(graph: Graph, k: int) -> FrozenSet[Edge]:
+    """Edges of the k-truss of ``graph``."""
+    if k < 2:
+        raise InvalidInputError(f"k-truss requires k >= 2, got {k}")
+    truss = truss_numbers(graph)
+    return frozenset(e for e, t in truss.items() if t >= k)
+
+
+def k_truss_subgraph(graph: Graph, k: int) -> Graph:
+    """The k-truss as a graph (isolated vertices dropped)."""
+    g = Graph()
+    for u, v in k_truss_edges(graph, k):
+        g.add_edge(u, v)
+    return g
+
+
+def connected_k_truss(graph: Graph, q: Vertex, k: int) -> FrozenSet[Vertex]:
+    """Vertices of the connected component of the k-truss containing ``q``.
+
+    Returns the empty frozenset when ``q`` touches no k-truss edge.
+    """
+    sub = k_truss_subgraph(graph, k)
+    if q not in sub:
+        return EMPTY
+    return sub.component_of(q)
+
+
+def k_truss_within(
+    graph: Graph,
+    candidates: Iterable[Vertex],
+    k: int,
+    q: Optional[Vertex] = None,
+) -> FrozenSet[Vertex]:
+    """k-truss restricted to ``G[candidates]``; optionally q's component.
+
+    Mirrors :func:`repro.graph.core.k_core_within` so the two cohesion models
+    are interchangeable in :mod:`repro.core.cohesion`.
+    """
+    sub = graph.subgraph(candidates)
+    if q is not None:
+        if q not in sub:
+            return EMPTY
+        return connected_k_truss(sub, q, k)
+    truss_sub = k_truss_subgraph(sub, k)
+    return truss_sub.vertex_set()

@@ -1,0 +1,6 @@
+"""Index structures: the CL-tree (nested k-ĉores) and the CP-tree (per-label CL-trees)."""
+
+from repro.index.cltree import CLNode, CLTree
+from repro.index.cptree import CPNode, CPTree
+
+__all__ = ["CLNode", "CLTree", "CPNode", "CPTree"]

@@ -1,0 +1,224 @@
+"""The CL-tree: nested k-ĉores organised as a tree (paper §4.1).
+
+Because k-cores are nested (j-ĉore ⊆ i-ĉore for i < j), all the k-ĉores of a
+graph form a laminar family and can be stored in one tree: each CL-tree node
+represents a k-ĉore component at its core level, *anchoring* the vertices
+whose core number equals that level; the vertices of the full k-ĉore are the
+anchored vertices of the node plus those of all its descendants. The
+structure comes from ACQ [11]; as in the paper we skip ACQ's per-node
+keyword lists.
+
+Construction is bottom-up with union–find: process core levels in decreasing
+order, adding the vertices anchored at each level and merging components
+through their edges, creating one CL-tree node per component that gained
+vertices. Complexity O(m · α(n)) after the O(m) core decomposition.
+
+A ``vertexNodeMap`` gives each vertex its anchoring node; answering "the
+k-ĉore containing q" is a walk up the ancestor chain (cores strictly
+decrease upward) followed by a subtree read-out. Subtree vertex sets are
+served from a flat Euler-tour array, so each node's k-ĉore is one contiguous
+slice, materialised into a frozenset at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional
+
+from repro.graph.core import core_numbers_within
+from repro.graph.graph import Graph
+
+Vertex = Hashable
+
+EMPTY: FrozenSet[Vertex] = frozenset()
+
+_VIRTUAL_CORE = -1
+
+
+class CLNode:
+    """One component of one core level.
+
+    Attributes
+    ----------
+    core:
+        The core level of this node (``-1`` for the synthetic root that glues
+        disconnected components together).
+    vertices:
+        Vertices anchored here: members of this component whose core number
+        equals ``core``.
+    parent, children:
+        Tree links; children have strictly larger core levels.
+    """
+
+    __slots__ = ("core", "vertices", "parent", "children", "_start", "_end", "_cache")
+
+    def __init__(self, core: int, vertices: List[Vertex]):
+        self.core = core
+        self.vertices = vertices
+        self.parent: Optional["CLNode"] = None
+        self.children: List["CLNode"] = []
+        self._start = 0
+        self._end = 0
+        self._cache: Optional[FrozenSet[Vertex]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "#" if not self.vertices else ",".join(map(str, self.vertices[:4]))
+        return f"CLNode({self.core}:{tag})"
+
+
+class CLTree:
+    """Index of all k-ĉores of (an induced subgraph of) a graph.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.
+    vertices:
+        Optional vertex selection; when given, the CL-tree describes the
+        subgraph induced on it (used per-label inside the CP-tree).
+    """
+
+    __slots__ = ("_root", "_node_of", "_core_of", "_order")
+
+    def __init__(self, graph: Graph, vertices: Optional[Iterable[Vertex]] = None):
+        selection = graph.vertex_set() if vertices is None else vertices
+        core = core_numbers_within(graph, selection)
+        self._core_of: Dict[Vertex, int] = core
+        self._node_of: Dict[Vertex, CLNode] = {}
+        self._root = self._build(graph, core)
+        self._order: List[Vertex] = []
+        self._assign_euler_intervals()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, graph: Graph, core: Dict[Vertex, int]) -> CLNode:
+        if not core:
+            return CLNode(_VIRTUAL_CORE, [])
+        adj = graph.adjacency()
+        levels: Dict[int, List[Vertex]] = {}
+        for v, c in core.items():
+            levels.setdefault(c, []).append(v)
+
+        parent: Dict[Vertex, Vertex] = {}
+        size: Dict[Vertex, int] = {}
+        crowns: Dict[Vertex, List[CLNode]] = {}
+
+        def find(x: Vertex) -> Vertex:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:  # path compression
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(x: Vertex, y: Vertex) -> None:
+            rx, ry = find(x), find(y)
+            if rx == ry:
+                return
+            if size[rx] < size[ry]:
+                rx, ry = ry, rx
+            parent[ry] = rx
+            size[rx] += size[ry]
+            merged = crowns.pop(ry, [])
+            if merged:
+                crowns.setdefault(rx, []).extend(merged)
+
+        for k in sorted(levels, reverse=True):
+            members = levels[k]
+            for v in members:
+                parent[v] = v
+                size[v] = 1
+            for v in members:
+                for u in adj[v]:
+                    if core.get(u, -1) >= k:
+                        union(v, u)
+            groups: Dict[Vertex, List[Vertex]] = {}
+            for v in members:
+                groups.setdefault(find(v), []).append(v)
+            for root, anchored in groups.items():
+                node = CLNode(k, anchored)
+                for child in crowns.get(root, ()):
+                    child.parent = node
+                    node.children.append(child)
+                crowns[root] = [node]
+                for v in anchored:
+                    self._node_of[v] = node
+
+        roots = [node for nodes in crowns.values() for node in nodes]
+        if len(roots) == 1:
+            return roots[0]
+        virtual = CLNode(_VIRTUAL_CORE, [])
+        for node in roots:
+            node.parent = virtual
+            virtual.children.append(node)
+        return virtual
+
+    def _assign_euler_intervals(self) -> None:
+        order = self._order
+        stack: List[tuple] = [(self._root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                node._end = len(order)
+                continue
+            node._start = len(order)
+            order.extend(node.vertices)
+            stack.append((node, True))
+            for child in node.children:
+                stack.append((child, False))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> CLNode:
+        return self._root
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._core_of
+
+    def core_number(self, v: Vertex) -> int:
+        """Core number of ``v`` within the indexed subgraph (-1 if absent)."""
+        return self._core_of.get(v, -1)
+
+    def node_of(self, v: Vertex) -> Optional[CLNode]:
+        """The CL-tree node anchoring ``v`` (the vertexNodeMap of the paper)."""
+        return self._node_of.get(v)
+
+    def kcore_node(self, q: Vertex, k: int) -> Optional[CLNode]:
+        """The node whose subtree is the k-ĉore containing ``q``, or None."""
+        node = self._node_of.get(q)
+        if node is None or self._core_of[q] < k:
+            return None
+        while node.parent is not None and node.parent.core >= k:
+            node = node.parent
+        return node
+
+    def subtree_vertices(self, node: CLNode) -> FrozenSet[Vertex]:
+        """All vertices anchored in ``node``'s subtree (one Euler slice)."""
+        if node._cache is None:
+            node._cache = frozenset(self._order[node._start : node._end])
+        return node._cache
+
+    def kcore_vertices(self, q: Vertex, k: int) -> FrozenSet[Vertex]:
+        """Vertex set of the k-ĉore containing ``q`` (empty when none exists)."""
+        node = self.kcore_node(q, k)
+        if node is None:
+            return EMPTY
+        return self.subtree_vertices(node)
+
+    def nodes(self) -> Iterator[CLNode]:
+        """All CL-tree nodes, preorder."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices covered by the index."""
+        return len(self._core_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CLTree(n={self.num_vertices})"

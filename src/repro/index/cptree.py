@@ -1,0 +1,176 @@
+"""The CP-tree index (paper §4.2, Algorithm 2).
+
+The Core Profiled tree has one node per taxonomy label; node ``p`` stores the
+CL-tree of the subgraph induced by the vertices whose P-tree contains
+``p.label``. The CP-tree nodes are linked following the GP-tree (taxonomy)
+structure, and a ``headMap`` records, for every vertex, the CP-tree nodes of
+its P-tree's *leaf* labels — enough to restore the whole P-tree by walking
+parents (labels are ancestor-closed).
+
+The three advertised capabilities (paper §4.2) map to methods here:
+
+* *Restore P-trees* — :meth:`CPTree.restore_ptree` via the headMap;
+* *Locating k-ĉore* — :meth:`CPTree.get` = ``I.get(k, q, t)``: the k-ĉore
+  containing ``q`` among vertices carrying the label, answered by the
+  per-label CL-tree;
+* *Query efficiency* — all PCS index-based algorithms consume this object.
+
+Complexities match the paper: construction O(|P| · m · α(n)) time and
+O(|P| · n) space, both linear in the size of the profiled graph for a fixed
+average profile size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import InvalidInputError, LabelNotFoundError
+from repro.graph.graph import Graph
+from repro.index.cltree import CLTree
+from repro.ptree.taxonomy import Taxonomy
+
+Vertex = Hashable
+NodeSet = FrozenSet[int]
+
+EMPTY: FrozenSet[Vertex] = frozenset()
+
+
+class CPNode:
+    """One CP-tree node: a taxonomy label plus the CL-tree of its subgraph."""
+
+    __slots__ = ("label", "vertices", "cltree", "parent", "children")
+
+    def __init__(self, label: int, vertices: FrozenSet[Vertex], cltree: CLTree):
+        self.label = label
+        self.vertices = vertices
+        self.cltree = cltree
+        self.parent: Optional["CPNode"] = None
+        self.children: List["CPNode"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CPNode(label={self.label}, n={len(self.vertices)})"
+
+
+class CPTree:
+    """The CP-tree index over a profiled graph.
+
+    Parameters
+    ----------
+    graph:
+        Graph topology.
+    vertex_labels:
+        Mapping vertex → ancestor-closed frozenset of taxonomy node ids
+        (the vertex's P-tree node set).
+    taxonomy:
+        The GP-tree anchoring all label ids.
+    validate:
+        When true (default), check that every label set is ancestor-closed.
+
+    Notes
+    -----
+    Only labels that occur in at least one vertex's P-tree get a CP-node;
+    :meth:`get` returns the empty set for unused labels.
+    """
+
+    __slots__ = ("taxonomy", "_nodes", "_head_map", "_num_vertices")
+
+    def __init__(
+        self,
+        graph: Graph,
+        vertex_labels: Mapping[Vertex, NodeSet],
+        taxonomy: Taxonomy,
+        validate: bool = True,
+    ):
+        self.taxonomy = taxonomy
+        # --- Algorithm 2, lines 2-7: bucket vertices per label, fill headMap.
+        buckets: Dict[int, List[Vertex]] = {}
+        head_map: Dict[Vertex, Tuple[int, ...]] = {}
+        for v, labels in vertex_labels.items():
+            if v not in graph:
+                raise InvalidInputError(f"profiled vertex {v!r} is not in the graph")
+            if validate and labels and not taxonomy.is_ancestor_closed(labels):
+                raise InvalidInputError(
+                    f"label set of vertex {v!r} is not ancestor-closed"
+                )
+            leaves = []
+            for x in labels:
+                buckets.setdefault(x, []).append(v)
+                if not any(c in labels for c in taxonomy.children(x)):
+                    leaves.append(x)
+            head_map[v] = tuple(sorted(leaves))
+        # --- Algorithm 2, lines 8-9: one CL-tree per label.
+        self._nodes: Dict[int, CPNode] = {}
+        for label, members in buckets.items():
+            cltree = CLTree(graph, vertices=members)
+            self._nodes[label] = CPNode(label, frozenset(members), cltree)
+        # --- Algorithm 2, line 10: link CP-nodes following the GP-tree.
+        for label, node in self._nodes.items():
+            parent_label = taxonomy.parent(label)
+            if parent_label != -1 and parent_label in self._nodes:
+                parent_node = self._nodes[parent_label]
+                node.parent = parent_node
+                parent_node.children.append(node)
+        self._head_map = head_map
+        self._num_vertices = len(head_map)
+
+    # ------------------------------------------------------------------
+    # the paper's API
+    # ------------------------------------------------------------------
+    def get(self, k: int, q: Vertex, label: int) -> FrozenSet[Vertex]:
+        """``I.get(k, q, t)``: the k-ĉore containing ``q`` whose vertices carry ``label``.
+
+        Returns the empty set when the label is unused, ``q`` does not carry
+        it, or ``q`` does not survive k-core peeling of the label's subgraph.
+        """
+        node = self._nodes.get(label)
+        if node is None:
+            return EMPTY
+        return node.cltree.kcore_vertices(q, k)
+
+    def restore_ptree(self, v: Vertex) -> NodeSet:
+        """Restore T(v)'s node set from the headMap (paper: leaf→root walks)."""
+        try:
+            leaves = self._head_map[v]
+        except KeyError:
+            raise InvalidInputError(f"vertex {v!r} is not profiled in this index") from None
+        return self.taxonomy.closure(leaves)
+
+    def head_labels(self, v: Vertex) -> Tuple[int, ...]:
+        """The headMap entry of ``v``: leaf label ids of its P-tree."""
+        try:
+            return self._head_map[v]
+        except KeyError:
+            raise InvalidInputError(f"vertex {v!r} is not profiled in this index") from None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def node(self, label: int) -> CPNode:
+        """The CP-node of ``label`` (raises when the label indexes no vertex)."""
+        try:
+            return self._nodes[label]
+        except KeyError:
+            raise LabelNotFoundError(label) from None
+
+    def has_label(self, label: int) -> bool:
+        return label in self._nodes
+
+    def labels(self) -> Iterable[int]:
+        """All label ids that index at least one vertex."""
+        return self._nodes.keys()
+
+    def vertices_with_label(self, label: int) -> FrozenSet[Vertex]:
+        """All vertices whose P-tree contains ``label``."""
+        node = self._nodes.get(label)
+        return node.vertices if node is not None else EMPTY
+
+    @property
+    def num_labels(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CPTree(labels={self.num_labels}, vertices={self.num_vertices})"

@@ -1,0 +1,181 @@
+"""Subtree enumeration via rightmost-path extension (paper §3.2, Step 1).
+
+Enumerating the induced rooted subtrees of a query P-tree T(q) without
+repetition is the engine of the ``basic``/``incre`` algorithms and of
+``find-I``. We follow the strategy the paper adopts from Asai et al. [42]:
+grow a subtree T from T′ by attaching one node t whose parent is already on
+the rightmost path of T′ such that t becomes the new rightmost leaf.
+
+Under the ancestor-closed-set encoding this has a particularly crisp form:
+**a node x may be appended to T′ iff its taxonomy parent is in T′ and its
+taxonomy preorder exceeds that of every node of T′.** Every ancestor-closed
+subset of T(q) then has exactly one generation sequence — its members sorted
+by preorder — so enumeration is complete and duplicate-free (proved in
+tests, together with Lemma 1's 2^(x−1) + 1 bound).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidInputError
+from repro.ptree.ptree import PTree
+from repro.ptree.taxonomy import ROOT, Taxonomy
+
+NodeSet = FrozenSet[int]
+
+_EMPTY: NodeSet = frozenset()
+
+
+def addable_nodes(taxonomy: Taxonomy, base: NodeSet, current: NodeSet) -> List[int]:
+    """All nodes of ``base`` that can extend ``current`` by one (any position).
+
+    A node is addable when it lies in ``base``, is absent from ``current``,
+    and its parent is in ``current`` (or it is the root and ``current`` is
+    empty). These are exactly the lattice children of ``current`` within
+    ``base`` — used for maximality checks and by expandPtree.
+    """
+    if not current:
+        return [ROOT] if ROOT in base else []
+    out = [
+        x
+        for x in base
+        if x not in current and taxonomy.parent(x) in current
+    ]
+    return out
+
+
+def rightmost_extensions(
+    taxonomy: Taxonomy, base: NodeSet, current: NodeSet
+) -> List[int]:
+    """Canonical (duplicate-free) one-node extensions of ``current``.
+
+    Only nodes whose preorder exceeds every preorder in ``current`` qualify;
+    returned in increasing preorder.
+    """
+    if not current:
+        return [ROOT] if ROOT in base else []
+    pre = taxonomy.preorder
+    bound = max(pre(x) for x in current)
+    out = [
+        x
+        for x in base
+        if x not in current and pre(x) > bound and taxonomy.parent(x) in current
+    ]
+    out.sort(key=pre)
+    return out
+
+
+def generate_subtrees(
+    taxonomy: Taxonomy, base: NodeSet, current: NodeSet
+) -> List[NodeSet]:
+    """The paper's ``GENERATE SUBTREE(T′, T(q))``: canonical children of T′."""
+    return [current | {x} for x in rightmost_extensions(taxonomy, base, current)]
+
+
+def enumerate_subtrees(
+    base: PTree,
+    include_empty: bool = True,
+    prune: Optional[Callable[[NodeSet], bool]] = None,
+) -> Iterator[NodeSet]:
+    """Enumerate every induced rooted subtree of ``base`` exactly once.
+
+    Parameters
+    ----------
+    base:
+        The P-tree whose subtrees are enumerated (typically T(q)).
+    include_empty:
+        Whether to yield the empty tree first (the paper's Lemma 1 counts
+        it).
+    prune:
+        Optional predicate; when it returns ``True`` for a yielded subtree,
+        no extensions of that subtree are explored. With the
+        anti-monotonicity of feasibility (Lemma 2) this is a sound way to
+        skip infeasible branches.
+
+    Yields
+    ------
+    frozenset of taxonomy node ids, in DFS (rightmost-extension) order from
+    smaller to larger along each branch.
+    """
+    taxonomy = base.taxonomy
+    base_nodes = base.nodes
+    if include_empty:
+        yield _EMPTY
+    if ROOT not in base_nodes:
+        return
+    pre = taxonomy.preorder
+    # Stack entries: (subtree, preorder bound). DFS keeps memory at O(depth).
+    root_set: NodeSet = frozenset((ROOT,))
+    stack: List[Tuple[NodeSet, int]] = [(root_set, pre(ROOT))]
+    while stack:
+        current, bound = stack.pop()
+        yield current
+        if prune is not None and prune(current):
+            continue
+        extensions = [
+            x
+            for x in base_nodes
+            if x not in current and pre(x) > bound and taxonomy.parent(x) in current
+        ]
+        extensions.sort(key=pre, reverse=True)  # reversed: smallest popped first
+        for x in extensions:
+            stack.append((current | {x}, pre(x)))
+
+
+def count_subtrees(base: PTree, include_empty: bool = True) -> int:
+    """Count induced rooted subtrees by dynamic programming (not enumeration).
+
+    For a node v with children c₁…c_d inside ``base``, the number of
+    subtrees rooted at v is ``∏(1 + rooted(cᵢ))``. The total is
+    ``rooted(root) + 1`` when the empty tree is included.
+    """
+    if not base.nodes:
+        return 1 if include_empty else 0
+
+    def rooted(node: int) -> int:
+        product = 1
+        for child in base.children_in_tree(node):
+            product *= 1 + rooted(child)
+        return product
+
+    total = rooted(ROOT)
+    return total + 1 if include_empty else total
+
+
+def lemma1_bound(x: int) -> int:
+    """Lemma 1: the maximum number of subtrees of a P-tree with x nodes.
+
+    Equals ``2^(x−1) + 1`` (including the empty tree); the maximum is attained
+    by a root with x − 1 leaf children.
+    """
+    if x < 0:
+        raise InvalidInputError(f"x must be non-negative, got {x}")
+    if x == 0:
+        return 1
+    return 2 ** (x - 1) + 1
+
+
+def lemma1_recurrence(x: int) -> int:
+    """The paper's Equation (1) recurrence for f(x); used to cross-check Lemma 1.
+
+    The split (the paper's Fig. 3(b)) views a tree with x nodes as a left part
+    with i nodes (containing the root) and a right part with x − i nodes;
+    subtrees combine as left-subtree × non-empty-right-subtree, plus 1 for the
+    overall empty tree: ``f(x) = max_{1<=i<=x−1} f(i)·(f(x−i) − 1) + 1`` with
+    ``f(0) = 1`` and ``f(1) = 2``. Tests confirm ``f(x) = 2^(x−1) + 1``.
+    """
+    if x < 0:
+        raise InvalidInputError(f"x must be non-negative, got {x}")
+    memo = {0: 1, 1: 2}
+
+    def f(v: int) -> int:
+        if v in memo:
+            return memo[v]
+        best = 0
+        for i in range(1, v):
+            best = max(best, f(i) * (f(v - i) - 1))
+        memo[v] = best + 1
+        return memo[v]
+
+    return f(x)

@@ -1,0 +1,149 @@
+"""Rendering helpers: DOT export and ASCII sketches.
+
+Profiled graphs, taxonomies and PCS answers are easiest to inspect
+visually; this module renders them as Graphviz DOT documents (view with
+``dot -Tpng``) and compact ASCII summaries for terminals. No third-party
+dependency — the DOT writers emit plain text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.core.community import ProfiledCommunity
+from repro.core.profiled_graph import ProfiledGraph
+from repro.graph.graph import Graph
+from repro.ptree.ptree import PTree
+from repro.ptree.taxonomy import ROOT, Taxonomy
+
+Vertex = Hashable
+
+_PALETTE = (
+    "#e6550d",
+    "#3182bd",
+    "#31a354",
+    "#756bb1",
+    "#636363",
+    "#fdae6b",
+    "#9ecae1",
+    "#a1d99b",
+)
+
+
+def _quote(token: object) -> str:
+    text = str(token).replace('"', r"\"")
+    return f'"{text}"'
+
+
+def graph_to_dot(
+    graph: Graph,
+    highlight: Sequence[Iterable[Vertex]] = (),
+    name: str = "G",
+) -> str:
+    """Render a graph as undirected DOT, colouring ``highlight`` groups.
+
+    Vertices in several groups take the colour of the first containing
+    group; uncoloured vertices stay grey.
+    """
+    colour: Dict[Vertex, str] = {}
+    for i, group in enumerate(highlight):
+        for v in group:
+            colour.setdefault(v, _PALETTE[i % len(_PALETTE)])
+    lines: List[str] = [f"graph {name} {{", "  node [style=filled];"]
+    for v in graph.vertices():
+        fill = colour.get(v, "#d9d9d9")
+        lines.append(f'  {_quote(v)} [fillcolor="{fill}"];')
+    for u, v in graph.edges():
+        lines.append(f"  {_quote(u)} -- {_quote(v)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def taxonomy_to_dot(
+    taxonomy: Taxonomy,
+    mark: Optional[PTree] = None,
+    name: str = "GP",
+    max_nodes: int = 400,
+) -> str:
+    """Render (a prefix of) the taxonomy as a DOT tree, marking a P-tree.
+
+    Taxonomies can have thousands of labels; nodes beyond ``max_nodes`` in
+    preorder are elided (marked nodes are always kept).
+    """
+    marked = mark.nodes if mark is not None else frozenset()
+    order = sorted(taxonomy.nodes(), key=taxonomy.preorder)
+    keep = set(order[:max_nodes]) | set(marked)
+    # ancestors of kept nodes must be present for edges to connect
+    for node in list(keep):
+        keep.update(taxonomy.ancestors(node))
+    lines = [f"digraph {name} {{", "  node [shape=box, style=filled];"]
+    for node in order:
+        if node not in keep:
+            continue
+        fill = "#fdae6b" if node in marked else "#f0f0f0"
+        lines.append(
+            f'  n{node} [label={_quote(taxonomy.name(node))}, fillcolor="{fill}"];'
+        )
+    for node in order:
+        if node == ROOT or node not in keep:
+            continue
+        parent = taxonomy.parent(node)
+        if parent in keep:
+            lines.append(f"  n{parent} -> n{node};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def communities_to_dot(
+    pg: ProfiledGraph,
+    communities: Sequence[ProfiledCommunity],
+    include_rest: bool = False,
+    name: str = "PCS",
+) -> str:
+    """Render PCS answers: community members coloured per community.
+
+    With ``include_rest`` false (default) only vertices participating in at
+    least one community are drawn (whole graphs are unreadable).
+    """
+    keep: set = set()
+    for community in communities:
+        keep |= community.vertices
+    graph = pg.graph if include_rest else pg.graph.subgraph(keep)
+    return graph_to_dot(
+        graph,
+        highlight=[c.vertices for c in communities],
+        name=name,
+    )
+
+
+def ascii_adjacency(graph: Graph, order: Optional[Sequence[Vertex]] = None) -> str:
+    """A tiny ASCII adjacency matrix (useful for ≤ ~30-vertex examples)."""
+    vertices = list(order) if order is not None else sorted(graph.vertices(), key=repr)
+    header = "    " + " ".join(f"{str(v)[:2]:>2s}" for v in vertices)
+    rows = [header]
+    for u in vertices:
+        cells = " ".join(
+            " x" if graph.has_edge(u, v) else " ." for v in vertices
+        )
+        rows.append(f"{str(u)[:3]:>3s} {cells}")
+    return "\n".join(rows)
+
+
+def community_card(pg: ProfiledGraph, community: ProfiledCommunity) -> str:
+    """A boxed ASCII card for one community (members + theme)."""
+    members = ", ".join(sorted(map(str, community.vertices)))
+    theme_lines = community.subtree.pretty(indent="  ").splitlines()
+    width = max(
+        [len(members) + 10, len("theme:")]
+        + [len(line) + 2 for line in theme_lines]
+    )
+    bar = "+" + "-" * (width + 2) + "+"
+    lines = [bar]
+    lines.append(f"| q={str(community.query):<{width}} |")
+    lines.append(f"| k={community.k:<{width}} |")
+    lines.append(f"| members: {members:<{width - 9}} |")
+    lines.append(f"| theme:{' ' * (width - 6)} |")
+    for line in theme_lines:
+        lines.append(f"|   {line:<{width - 2}} |")
+    lines.append(bar)
+    return "\n".join(lines)

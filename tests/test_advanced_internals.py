@@ -1,0 +1,143 @@
+"""White-box tests for the advanced machinery (expandPtree, cut finders).
+
+These complement the black-box equivalence suite with targeted checks on
+the border-walk mechanics: cut validity along the expansion, dedup
+behaviour, and the special cases of Algorithm 4 line 2.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FeasibilityOracle,
+    ProfiledGraph,
+    expand_ptree,
+    find_initial_cut_decre,
+    find_initial_cut_incre,
+    find_initial_cut_path,
+    pcs,
+)
+from repro.datasets import fig1_profiled_graph
+from repro.datasets.taxonomies import synthetic_taxonomy
+from repro.errors import InvalidInputError
+from repro.graph import Graph, gnp_graph
+from repro.ptree.taxonomy import ROOT
+
+FINDERS = (find_initial_cut_incre, find_initial_cut_decre, find_initial_cut_path)
+
+
+def themed_instance(seed: int):
+    """A planted single-community instance with a deep theme."""
+    rng = random.Random(seed)
+    tax = synthetic_taxonomy(120, seed=seed)
+    theme = tax.random_focused_subtree(rng, 8, anchor_depth=1)
+    n = 14
+    g = Graph()
+    g.add_vertices(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.7:
+                g.add_edge(i, j)
+    profiles = {}
+    for v in range(n):
+        extra = tax.closure([rng.randrange(tax.num_nodes)])
+        profiles[v] = frozenset(theme) | extra
+    return ProfiledGraph(g, tax, profiles, validate=False)
+
+
+class TestExpandPtree:
+    def test_results_match_pcs(self):
+        for seed in range(5):
+            pg = themed_instance(seed)
+            oracle = FeasibilityOracle(pg, 0, 3, index=pg.index())
+            cut = find_initial_cut_path(oracle)
+            assert cut is not None
+            results = expand_ptree(oracle, cut)
+            expected = {
+                c.subtree.nodes: c.vertices for c in pcs(pg, 0, 3, method="incre")
+            }
+            assert results == expected
+
+    def test_special_case_no_children(self):
+        pg = fig1_profiled_graph()
+        oracle = FeasibilityOracle(pg, "C", 2, index=pg.index())
+        # C's full P-tree is feasible: IF = None special case.
+        results = expand_ptree(oracle, (None, pg.labels("C")))
+        assert pg.labels("C") in results
+        assert results[pg.labels("C")] == frozenset("BCD")
+
+    def test_results_accumulate_into_given_dict(self):
+        pg = fig1_profiled_graph()
+        oracle = FeasibilityOracle(pg, "D", 2, index=pg.index())
+        bucket = {}
+        out = expand_ptree(oracle, find_initial_cut_path(oracle), bucket)
+        assert out is bucket
+        assert len(bucket) == 2
+
+    def test_every_recorded_subtree_is_maximal(self):
+        for seed in range(4):
+            pg = themed_instance(10 + seed)
+            oracle = FeasibilityOracle(pg, 1, 3, index=pg.index())
+            cut = find_initial_cut_decre(oracle)
+            if cut is None:
+                continue
+            results = expand_ptree(oracle, cut)
+            for subtree in results:
+                assert oracle.is_maximal(subtree)
+
+
+class TestFinderContracts:
+    @pytest.mark.parametrize("finder", FINDERS)
+    def test_cut_adjacency(self, finder):
+        for seed in range(5):
+            pg = themed_instance(20 + seed)
+            oracle = FeasibilityOracle(pg, 2, 3, index=pg.index())
+            cut = finder(oracle)
+            if cut is None:
+                continue
+            infeasible, feasible = cut
+            assert oracle.is_feasible(feasible)
+            assert ROOT in feasible or not feasible
+            if infeasible is not None:
+                assert len(infeasible - feasible) == 1
+                assert not oracle.is_feasible(infeasible)
+
+    @pytest.mark.parametrize("finder", FINDERS)
+    def test_finders_share_downstream_answer(self, finder):
+        pg = themed_instance(42)
+        reference = None
+        oracle = FeasibilityOracle(pg, 0, 3, index=pg.index())
+        cut = finder(oracle)
+        results = expand_ptree(oracle, cut) if cut else {}
+        expected = {
+            c.subtree.nodes: c.vertices for c in pcs(pg, 0, 3, method="basic")
+        }
+        assert results == expected
+
+    def test_find_functions_verification_ordering(self):
+        # find-I sweeps the interior; find-P probes paths. On a themed
+        # instance find-P must not verify more subtrees than find-I.
+        pg = themed_instance(7)
+        oracle_i = FeasibilityOracle(pg, 0, 3, index=pg.index())
+        find_initial_cut_incre(oracle_i)
+        oracle_p = FeasibilityOracle(pg, 0, 3, index=pg.index())
+        find_initial_cut_path(oracle_p)
+        assert oracle_p.verifications <= oracle_i.verifications + 2
+
+
+class TestAdvancedQueryValidation:
+    def test_unknown_finder_rejected(self):
+        pg = fig1_profiled_graph()
+        from repro.core import advanced_query
+
+        with pytest.raises(InvalidInputError):
+            advanced_query(pg, "D", 2, find="X")
+
+    def test_method_names_in_results(self):
+        pg = fig1_profiled_graph()
+        for find, expected in (("I", "adv-I"), ("D", "adv-D"), ("P", "adv-P")):
+            from repro.core import advanced_query
+
+            result = advanced_query(pg, "D", 2, find=find)
+            assert result.method == expected

@@ -1,0 +1,123 @@
+"""Tests for the analysis package (cover comparison, summaries)."""
+
+import pytest
+
+from repro.analysis import (
+    average_jaccard_match,
+    best_match_jaccard,
+    describe_community,
+    jaccard,
+    omega_index,
+    overlap_matrix,
+    overlapping_nmi,
+    summarize_cover,
+    theme_branches,
+)
+from repro.core import pcs
+from repro.datasets import fig1_profiled_graph
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard(fs(1, 2), fs(2, 3)) == pytest.approx(1 / 3)
+        assert jaccard(fs(), fs()) == 1.0
+        assert jaccard(fs(1), fs()) == 0.0
+
+    def test_best_match(self):
+        cover = [fs(1, 2, 3)]
+        reference = [fs(1, 2), fs(7, 8)]
+        assert best_match_jaccard(cover, reference) == pytest.approx(2 / 3)
+        assert best_match_jaccard([], reference) == 0.0
+
+    def test_symmetric_average(self):
+        a = [fs(1, 2, 3), fs(4, 5)]
+        b = [fs(1, 2, 3), fs(4, 5)]
+        assert average_jaccard_match(a, b) == 1.0
+        c = [fs(1, 2, 3)]
+        assert 0.0 < average_jaccard_match(a, c) < 1.0
+
+
+class TestNMI:
+    def test_identical_covers(self):
+        cover = [fs(0, 1, 2), fs(3, 4)]
+        assert overlapping_nmi(cover, cover, universe_size=10) == pytest.approx(1.0)
+
+    def test_unrelated_covers(self):
+        a = [fs(0, 1, 2, 3, 4)]
+        b = [fs(5, 6, 7, 8, 9)]
+        value = overlapping_nmi(a, b, universe_size=10)
+        assert value < 0.3
+
+    def test_empty_inputs(self):
+        assert overlapping_nmi([], [fs(1)], 5) == 0.0
+        assert overlapping_nmi([fs(1)], [fs(1)], 0) == 0.0
+
+    def test_range(self):
+        a = [fs(0, 1, 2), fs(2, 3, 4)]
+        b = [fs(0, 1), fs(3, 4, 5)]
+        assert 0.0 <= overlapping_nmi(a, b, 8) <= 1.0
+
+
+class TestOmega:
+    def test_identical(self):
+        cover = [fs(0, 1, 2), fs(3, 4)]
+        assert omega_index(cover, cover, range(6)) == pytest.approx(1.0)
+
+    def test_disagreement_below_one(self):
+        a = [fs(0, 1, 2, 3)]
+        b = [fs(0, 1), fs(2, 3)]
+        assert omega_index(a, b, range(6)) < 1.0
+
+    def test_tiny_universe(self):
+        assert omega_index([], [], [1]) == 1.0
+
+
+class TestSummaries:
+    @pytest.fixture(scope="class")
+    def cover(self):
+        pg = fig1_profiled_graph()
+        return pg, list(pcs(pg, "D", 2))
+
+    def test_overlap_matrix(self, cover):
+        _, communities = cover
+        matrix = overlap_matrix(communities)
+        assert matrix[0][0] == 1.0
+        assert matrix[0][1] == matrix[1][0]
+        # {B,C,D} and {A,D,E} share only D
+        assert matrix[0][1] == pytest.approx(1 / 5)
+
+    def test_theme_branches(self, cover):
+        pg, communities = cover
+        branches = {frozenset(theme_branches(c, pg.taxonomy)) for c in communities}
+        assert frozenset({"CM"}) in branches
+        assert frozenset({"IS"}) in branches
+
+    def test_summarize_cover(self, cover):
+        pg, communities = cover
+        summary = summarize_cover(communities, pg.taxonomy)
+        assert summary.num_communities == 2
+        assert summary.num_vertices_covered == 5
+        assert 0.0 < summary.max_pairwise_jaccard < 1.0
+        assert summary.top_branches
+        assert "communities covering" in summary.digest()
+
+    def test_empty_cover(self, cover):
+        pg, _ = cover
+        summary = summarize_cover([], pg.taxonomy)
+        assert summary.num_communities == 0
+        assert summary.digest()
+
+    def test_describe_community(self, cover):
+        pg, communities = cover
+        text = describe_community(communities[0], pg.taxonomy)
+        assert "members" in text
+        assert "Shared focus" in text
+
+    def test_describe_truncates_members(self, cover):
+        pg, communities = cover
+        text = describe_community(communities[0], pg.taxonomy, max_members=1)
+        assert "(+2)" in text

@@ -1,0 +1,63 @@
+"""Tests for the ATC-style baseline."""
+
+import pytest
+
+from repro.baselines import atc_community, attribute_score
+from repro.datasets import fig1_profiled_graph
+from repro.errors import VertexNotFoundError
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return fig1_profiled_graph()
+
+
+class TestAttributeScore:
+    def test_empty(self, pg):
+        assert attribute_score(pg, set()) == 0.0
+
+    def test_homogeneous_beats_mixed(self, pg):
+        homogeneous = attribute_score(pg, {"B", "C"})  # identical profiles
+        mixed = attribute_score(pg, {"B", "E"})  # disjoint-ish profiles
+        assert homogeneous > mixed
+
+    def test_scale(self, pg):
+        # one vertex with p labels scores p (each count 1, squared, /1)
+        assert attribute_score(pg, {"B"}) == len(pg.labels("B"))
+
+
+class TestATCCommunity:
+    def test_returns_truss_subset(self, pg):
+        members, score = atc_community(pg, "D", 3)
+        assert "D" in members
+        assert score > 0
+        from repro.graph import connected_k_truss
+
+        assert members <= connected_k_truss(pg.graph, "D", 3)
+
+    def test_peeling_improves_or_keeps_score(self, pg):
+        from repro.graph import connected_k_truss
+
+        base = connected_k_truss(pg.graph, "D", 3)
+        base_score = attribute_score(pg, set(base))
+        _, score = atc_community(pg, "D", 3)
+        assert score >= base_score
+
+    def test_empty_when_no_truss(self, pg):
+        members, score = atc_community(pg, "D", 5)
+        assert members == frozenset()
+        assert score == 0.0
+
+    def test_triangle_community(self, pg):
+        members, _ = atc_community(pg, "F", 3)
+        assert members == frozenset("FGH")
+
+    def test_unknown_vertex(self, pg):
+        with pytest.raises(VertexNotFoundError):
+            atc_community(pg, "ZZ", 3)
+
+    def test_max_peels_cap(self, pg):
+        capped, _ = atc_community(pg, "D", 3, max_peels=0)
+        from repro.graph import connected_k_truss
+
+        assert capped == connected_k_truss(pg.graph, "D", 3)

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQuery:
+    def test_fig1_query(self, capsys):
+        assert main(["query", "--dataset", "fig1", "--query", "D", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 communities" in out
+        assert "PC1" in out and "PC2" in out
+
+    def test_fig1_query_each_method(self, capsys):
+        for method in ("basic", "incre", "adv-I", "adv-D", "adv-P"):
+            assert main(
+                ["query", "--dataset", "fig1", "--query", "D", "--k", "2", "--method", method]
+            ) == 0
+
+    def test_auto_query_selection(self, capsys):
+        assert main(["query", "--dataset", "fig1", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "picked" in out
+
+    def test_int_vertex_coercion(self, capsys, tmp_path):
+        from repro.datasets import save_profiled_graph, simple_profiled_graph
+        from repro.datasets.taxonomies import synthetic_taxonomy
+
+        tax = synthetic_taxonomy(30, seed=1)
+        pg = simple_profiled_graph(tax, 20, seed=1, edge_probability=0.4)
+        path = tmp_path / "g.json"
+        save_profiled_graph(pg, path)
+        assert main(["query", "--dataset", str(path), "--query", "3", "--k", "1"]) == 0
+
+
+class TestStats:
+    def test_fig1_stats(self, capsys):
+        assert main(["stats", "--dataset", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices     : 8" in out
+        assert "|GP-tree|    : 7" in out
+
+
+class TestExport:
+    def test_export_and_requery(self, capsys, tmp_path):
+        out_path = tmp_path / "fig1.json"
+        assert main(["export", "--dataset", "fig1", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert main(["query", "--dataset", str(out_path), "--query", "D", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 communities" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--method", "warp"])

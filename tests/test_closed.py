@@ -1,0 +1,78 @@
+"""Tests for the closure-jumping ``closed`` method (library extension)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import as_vertex_subtree_map, closed_query, pcs
+from repro.datasets import fig1_profiled_graph
+
+from tests.test_equivalence import brute_force, random_instance
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return fig1_profiled_graph()
+
+
+class TestClosedOnFig1:
+    def test_matches_paper_answer(self, pg):
+        result = pcs(pg, "D", 2, method="closed")
+        expected = pcs(pg, "D", 2, method="incre")
+        assert as_vertex_subtree_map(result) == as_vertex_subtree_map(expected)
+        assert result.method == "closed"
+
+    def test_k3(self, pg):
+        result = pcs(pg, "D", 3, method="closed")
+        assert len(result) == 1
+        assert result[0].vertices == frozenset("ABDE")
+
+    def test_no_community(self, pg):
+        assert len(pcs(pg, "D", 4, method="closed")) == 0
+
+    def test_without_index(self, pg):
+        result = closed_query(pg, "D", 2)  # index optional
+        assert len(result) == 2
+
+    def test_fewer_verifications_than_incre(self, pg):
+        closed = pcs(pg, "D", 2, method="closed")
+        incre = pcs(pg, "D", 2, method="incre")
+        assert closed.num_verifications <= incre.num_verifications
+
+
+class TestClosedEquivalence:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_against_brute_force(self, seed):
+        pg, q, k = random_instance(seed)
+        expected = brute_force(pg, q, k)
+        got = as_vertex_subtree_map(pcs(pg, q, k, method="closed"))
+        assert got == expected
+
+    @pytest.mark.parametrize("seed", range(15, 22))
+    def test_against_brute_force_themed(self, seed):
+        pg, q, k = random_instance(seed, themed=True)
+        expected = brute_force(pg, q, k)
+        got = as_vertex_subtree_map(pcs(pg, q, k, method="closed"))
+        assert got == expected
+
+    def test_empty_profile_query(self):
+        from repro.core import ProfiledGraph
+        from repro.datasets import fig1_taxonomy
+        from repro.graph import Graph
+
+        tax = fig1_taxonomy()
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        pg = ProfiledGraph(g, tax, {})
+        result = pcs(pg, 0, 2, method="closed")
+        assert len(result) == 1
+        assert result[0].vertices == frozenset({0, 1, 2})
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_closed_equals_reference(seed):
+    pg, q, k = random_instance(seed)
+    expected = as_vertex_subtree_map(pcs(pg, q, k, method="incre"))
+    got = as_vertex_subtree_map(pcs(pg, q, k, method="closed"))
+    assert got == expected

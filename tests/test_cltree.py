@@ -1,0 +1,104 @@
+"""Tests for the CL-tree index (nested k-ĉores)."""
+
+import random
+
+import pytest
+
+from repro.datasets import fig1_profiled_graph
+from repro.graph import Graph, connected_k_core, gnp_graph
+from repro.index import CLTree
+
+
+class TestFig4Shape:
+    """The CL-tree of the paper's example graph must match Fig. 4(b)."""
+
+    def test_structure(self):
+        pg = fig1_profiled_graph()
+        clt = CLTree(pg.graph)
+        root = clt.root
+        assert root.core == -1  # virtual root "0:#"
+        assert sorted(len(c.vertices) for c in root.children) == [1, 3]
+        by_size = sorted(root.children, key=lambda n: len(n.vertices))
+        c_node, fgh_node = by_size
+        assert set(c_node.vertices) == {"C"}
+        assert c_node.core == 2
+        assert set(fgh_node.vertices) == {"F", "G", "H"}
+        assert fgh_node.core == 2
+        (abde_node,) = c_node.children
+        assert set(abde_node.vertices) == {"A", "B", "D", "E"}
+        assert abde_node.core == 3
+
+    def test_vertex_node_map(self):
+        pg = fig1_profiled_graph()
+        clt = CLTree(pg.graph)
+        assert clt.node_of("C").core == 2
+        assert clt.node_of("A").core == 3
+        assert clt.node_of("missing") is None
+
+    def test_kcore_queries(self):
+        pg = fig1_profiled_graph()
+        clt = CLTree(pg.graph)
+        assert clt.kcore_vertices("D", 3) == frozenset("ABDE")
+        assert clt.kcore_vertices("D", 2) == frozenset("ABCDE")
+        assert clt.kcore_vertices("F", 2) == frozenset("FGH")
+        assert clt.kcore_vertices("F", 3) == frozenset()
+        # k=0 must NOT leak across disconnected components via the virtual root
+        assert clt.kcore_vertices("F", 0) == frozenset("FGH")
+
+
+class TestAgainstDirectComputation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        g = gnp_graph(45, 0.12, seed=seed)
+        clt = CLTree(g)
+        for q in range(0, 45, 5):
+            for k in range(0, 6):
+                assert clt.kcore_vertices(q, k) == connected_k_core(g, q, k)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_restricted_subgraphs(self, seed):
+        rng = random.Random(seed)
+        g = gnp_graph(40, 0.18, seed=seed)
+        selection = set(rng.sample(range(40), 24))
+        clt = CLTree(g, vertices=selection)
+        sub = g.subgraph(selection)
+        for q in list(selection)[:8]:
+            for k in range(0, 5):
+                assert clt.kcore_vertices(q, k) == connected_k_core(sub, q, k)
+
+
+class TestStructuralInvariants:
+    def test_each_vertex_anchored_once(self):
+        g = gnp_graph(60, 0.1, seed=42)
+        clt = CLTree(g)
+        seen = []
+        for node in clt.nodes():
+            seen.extend(node.vertices)
+        assert len(seen) == len(set(seen)) == g.num_vertices
+
+    def test_cores_strictly_increase_downward(self):
+        g = gnp_graph(60, 0.15, seed=43)
+        clt = CLTree(g)
+        for node in clt.nodes():
+            for child in node.children:
+                assert child.core > node.core
+
+    def test_anchored_vertices_have_node_core(self):
+        g = gnp_graph(50, 0.15, seed=44)
+        clt = CLTree(g)
+        for node in clt.nodes():
+            for v in node.vertices:
+                assert clt.core_number(v) == node.core
+
+    def test_empty_graph(self):
+        clt = CLTree(Graph())
+        assert clt.num_vertices == 0
+        assert clt.kcore_vertices(0, 0) == frozenset()
+
+    def test_subtree_vertices_cached_slices(self):
+        g = gnp_graph(30, 0.2, seed=45)
+        clt = CLTree(g)
+        root_vertices = clt.subtree_vertices(clt.root)
+        assert root_vertices == g.vertex_set()
+        # repeated call returns the same frozenset object (cache hit)
+        assert clt.subtree_vertices(clt.root) is root_vertices

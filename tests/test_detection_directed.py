@@ -1,0 +1,117 @@
+"""Tests for community detection via PCS and directed (D-core) PCS."""
+
+import pytest
+
+from repro.core import (
+    ProfiledGraph,
+    coverage,
+    detect_communities,
+    directed_pcs,
+    pcs,
+)
+from repro.datasets import fig1_profiled_graph, fig1_taxonomy
+from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.graph import DiGraph
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return fig1_profiled_graph()
+
+
+class TestDetection:
+    def test_covers_the_k_core(self, pg):
+        communities = detect_communities(pg, 2)
+        covered = set()
+        for community in communities:
+            covered |= community.vertices
+        # every vertex of the 2-core belongs to some detected community
+        from repro.graph import k_core_vertices
+
+        assert k_core_vertices(pg.graph, 2) <= covered
+
+    def test_finds_both_components(self, pg):
+        communities = detect_communities(pg, 2)
+        vertex_sets = {c.vertices for c in communities}
+        assert any("F" in s for s in vertex_sets)
+        assert any("D" in s for s in vertex_sets)
+
+    def test_min_size_filter(self, pg):
+        small = detect_communities(pg, 2, min_size=4)
+        assert all(c.size >= 4 for c in small)
+
+    def test_max_seeds_cap(self, pg):
+        communities = detect_communities(pg, 2, max_seeds=1)
+        assert communities  # one seed still yields communities
+
+    def test_invalid_min_size(self, pg):
+        with pytest.raises(InvalidInputError):
+            detect_communities(pg, 2, min_size=0)
+
+    def test_deduplicates(self, pg):
+        communities = detect_communities(pg, 2)
+        sets = [(c.vertices, c.subtree.nodes) for c in communities]
+        assert len(sets) == len(set(sets))
+
+    def test_coverage_metric(self, pg):
+        communities = detect_communities(pg, 2)
+        value = coverage(pg, communities)
+        assert 0.0 < value <= 1.0
+        assert coverage(pg, []) == 0.0
+
+
+class TestDirectedPCS:
+    @pytest.fixture
+    def directed_instance(self):
+        tax = fig1_taxonomy()
+        g = DiGraph()
+        # bidirected triangle {0,1,2} sharing ML; pendant arc to 3
+        for u, v in ((0, 1), (1, 2), (2, 0)):
+            g.add_arc(u, v)
+            g.add_arc(v, u)
+        g.add_arc(0, 3)
+        profiles = {
+            0: tax.closure([tax.id_of("ML"), tax.id_of("DMS")]),
+            1: tax.closure([tax.id_of("ML")]),
+            2: tax.closure([tax.id_of("ML"), tax.id_of("HW")]),
+            3: tax.closure([tax.id_of("HW")]),
+        }
+        return g, tax, profiles
+
+    def test_triangle_community(self, directed_instance):
+        g, tax, profiles = directed_instance
+        result = directed_pcs(g, tax, profiles, q=0, k=1, l=1)
+        assert len(result) == 1
+        community = result[0]
+        assert community.vertices == frozenset({0, 1, 2})
+        assert community.subtree.names() == {"r", "CM", "ML"}
+
+    def test_infeasible_parameters(self, directed_instance):
+        g, tax, profiles = directed_instance
+        assert len(directed_pcs(g, tax, profiles, q=0, k=3, l=3)) == 0
+
+    def test_pendant_query_excluded(self, directed_instance):
+        g, tax, profiles = directed_instance
+        # vertex 3 has in-degree 1 but out-degree 0
+        assert len(directed_pcs(g, tax, profiles, q=3, k=1, l=1)) == 0
+
+    def test_unknown_query(self, directed_instance):
+        g, tax, profiles = directed_instance
+        with pytest.raises(VertexNotFoundError):
+            directed_pcs(g, tax, profiles, q=99, k=1, l=1)
+
+    def test_unprofiled_query_gets_topology_community(self):
+        tax = fig1_taxonomy()
+        g = DiGraph()
+        for u, v in ((0, 1), (1, 2), (2, 0)):
+            g.add_arc(u, v)
+            g.add_arc(v, u)
+        result = directed_pcs(g, tax, {}, q=0, k=1, l=1)
+        assert len(result) == 1
+        assert result[0].vertices == frozenset({0, 1, 2})
+        assert len(result[0].subtree) == 0
+
+    def test_verification_counter(self, directed_instance):
+        g, tax, profiles = directed_instance
+        result = directed_pcs(g, tax, profiles, q=0, k=1, l=1)
+        assert result.num_verifications > 0

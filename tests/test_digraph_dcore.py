@@ -1,0 +1,101 @@
+"""Tests for the directed graph container and D-core decomposition."""
+
+import pytest
+
+from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.graph import DiGraph, d_core_matrix_sizes, d_core_vertices, d_core_within
+
+
+def directed_cycle(n: int) -> DiGraph:
+    return DiGraph((i, (i + 1) % n) for i in range(n))
+
+
+def bidirected_triangle() -> DiGraph:
+    g = DiGraph()
+    for u, v in ((0, 1), (1, 2), (2, 0)):
+        g.add_arc(u, v)
+        g.add_arc(v, u)
+    return g
+
+
+class TestDiGraph:
+    def test_arc_bookkeeping(self):
+        g = DiGraph([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_arcs == 2
+        assert g.has_arc(0, 1) and not g.has_arc(1, 0)
+
+    def test_degrees(self):
+        g = DiGraph([(0, 1), (2, 1), (1, 3)])
+        assert g.in_degree(1) == 2
+        assert g.out_degree(1) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidInputError):
+            DiGraph([(1, 1)])
+
+    def test_remove_vertex(self):
+        g = DiGraph([(0, 1), (1, 2), (2, 0)])
+        g.remove_vertex(1)
+        assert g.num_arcs == 1
+        assert not g.has_arc(0, 1)
+
+    def test_missing_vertex_raises(self):
+        g = DiGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.successors(0)
+
+    def test_subgraph(self):
+        g = DiGraph([(0, 1), (1, 2), (2, 0)])
+        sub = g.subgraph([0, 1])
+        assert sub.num_arcs == 1
+        assert sub.has_arc(0, 1)
+
+    def test_to_undirected(self):
+        g = DiGraph([(0, 1), (1, 0), (1, 2)])
+        und = g.to_undirected()
+        assert und.num_edges == 2
+
+    def test_weak_component(self):
+        g = DiGraph([(0, 1), (2, 1), (3, 4)])
+        assert g.weakly_connected_component(0) == frozenset({0, 1, 2})
+
+
+class TestDCore:
+    def test_directed_cycle_is_1_1_core(self):
+        g = directed_cycle(5)
+        assert d_core_vertices(g, 1, 1) == frozenset(range(5))
+        assert d_core_vertices(g, 2, 1) == frozenset()
+
+    def test_bidirected_triangle(self):
+        g = bidirected_triangle()
+        assert d_core_vertices(g, 1, 1) == frozenset({0, 1, 2})
+
+    def test_zero_zero_core_is_everything(self):
+        g = DiGraph([(0, 1)])
+        assert d_core_vertices(g, 0, 0) == frozenset({0, 1})
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidInputError):
+            d_core_vertices(DiGraph(), -1, 0)
+
+    def test_within_with_q(self):
+        g = directed_cycle(4)
+        g.add_arc(0, 9)  # pendant arc
+        community = d_core_within(g, g.vertices(), 1, 1, q=0)
+        assert community == frozenset({0, 1, 2, 3})
+        assert d_core_within(g, g.vertices(), 1, 1, q=9) == frozenset()
+
+    def test_peeling_cascades(self):
+        # chain 0->1->2: removing 2 (out-degree 0) cascades to all.
+        g = DiGraph([(0, 1), (1, 2)])
+        assert d_core_vertices(g, 0, 1) == frozenset()
+
+    def test_matrix_sizes_monotone(self):
+        g = bidirected_triangle()
+        matrix = d_core_matrix_sizes(g, 2, 2)
+        assert matrix[0][0] == 3
+        for k in range(2):
+            for l in range(2):
+                assert matrix[k][l] >= matrix[k + 1][l]
+                assert matrix[k][l] >= matrix[k][l + 1]

@@ -1,0 +1,155 @@
+"""Tests for dynamic maintenance (incremental cores, lazy CP-tree repair)."""
+
+import random
+
+import pytest
+
+from repro.core import as_vertex_subtree_map, pcs
+from repro.datasets import fig1_profiled_graph, simple_profiled_graph
+from repro.datasets.taxonomies import synthetic_taxonomy
+from repro.dynamic import DynamicCoreIndex, DynamicProfiledGraph
+from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.graph import Graph, gnp_graph
+
+
+class TestDynamicCoreIndex:
+    def test_insert_raises_core(self):
+        g = Graph([(0, 1), (1, 2)])
+        index = DynamicCoreIndex(g)
+        assert index.core(1) == 1
+        index.insert(0, 2)  # closes the triangle
+        assert index.core(0) == index.core(1) == index.core(2) == 2
+
+    def test_remove_lowers_core(self):
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        index = DynamicCoreIndex(g)
+        index.remove(0, 1)
+        assert index.core(0) == 1
+        assert index.verify()
+
+    def test_duplicate_and_missing_edges_are_noops(self):
+        g = Graph([(0, 1)])
+        index = DynamicCoreIndex(g)
+        index.insert(0, 1)
+        index.remove(5, 6)
+        assert index.verify()
+
+    def test_self_loop_rejected(self):
+        index = DynamicCoreIndex(Graph())
+        with pytest.raises(InvalidInputError):
+            index.insert(3, 3)
+
+    def test_add_and_remove_vertex(self):
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        index = DynamicCoreIndex(g)
+        index.add_vertex(9)
+        assert index.core(9) == 0
+        index.insert(9, 0)
+        index.insert(9, 1)
+        index.insert(9, 2)
+        assert index.core(9) == 3
+        index.remove_vertex(9)
+        assert index.verify()
+        with pytest.raises(VertexNotFoundError):
+            index.core(9)
+
+    def test_k_core_vertices_view(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        index = DynamicCoreIndex(g)
+        assert index.k_core_vertices(2) == frozenset({0, 1, 2})
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_edit_sequences_stay_exact(self, seed):
+        rng = random.Random(seed)
+        g = gnp_graph(30, 0.12, seed=seed)
+        index = DynamicCoreIndex(g)
+        existing = [tuple(e) for e in g.edges()]
+        for step in range(120):
+            if existing and rng.random() < 0.45:
+                u, v = existing.pop(rng.randrange(len(existing)))
+                index.remove(u, v)
+            else:
+                u = rng.randrange(30)
+                v = rng.randrange(30)
+                if u == v:
+                    continue
+                if not g.has_edge(u, v):
+                    existing.append((u, v))
+                index.insert(u, v)
+            if step % 20 == 0:
+                assert index.verify(), f"diverged at step {step}"
+        assert index.verify()
+
+
+class TestDynamicProfiledGraph:
+    def make(self, seed=0):
+        tax = synthetic_taxonomy(40, seed=seed)
+        pg = simple_profiled_graph(tax, 25, seed=seed, edge_probability=0.25)
+        return DynamicProfiledGraph(pg)
+
+    def test_query_before_any_edit(self):
+        dyn = DynamicProfiledGraph(fig1_profiled_graph())
+        result = dyn.query("D", 2)
+        assert len(result) == 2
+
+    def test_edits_keep_queries_exact(self):
+        rng = random.Random(1)
+        dyn = self.make(seed=1)
+        pg = dyn.pg
+        for step in range(25):
+            u = rng.randrange(25)
+            v = rng.randrange(25)
+            if u == v:
+                continue
+            if pg.graph.has_edge(u, v):
+                dyn.remove_edge(u, v)
+            else:
+                dyn.insert_edge(u, v)
+            if step % 5 == 0:
+                q = rng.randrange(25)
+                got = as_vertex_subtree_map(dyn.query(q, 2))
+                fresh = as_vertex_subtree_map(pcs(pg, q, 2, method="basic"))
+                assert got == fresh, f"diverged at step {step}"
+
+    def test_profile_update_reflected(self):
+        dyn = DynamicProfiledGraph(fig1_profiled_graph())
+        tax = dyn.pg.taxonomy
+        dyn.index()  # build once
+        # E gains the full CM branch: {B, C, D, E}? E has edges to A, B, D.
+        dyn.update_profile("E", [tax.id_of("ML"), tax.id_of("AI"), tax.id_of("DMS")])
+        result = dyn.query("D", 2)
+        themes = {frozenset(c.subtree.names()) for c in result}
+        assert {"r", "CM", "ML", "AI"} in themes
+        got = as_vertex_subtree_map(result)
+        fresh = as_vertex_subtree_map(pcs(dyn.pg, "D", 2, method="basic"))
+        assert got == fresh
+
+    def test_update_profile_unknown_vertex(self):
+        dyn = self.make()
+        with pytest.raises(VertexNotFoundError):
+            dyn.update_profile("nope", [])
+
+    def test_lazy_repair_only_touches_dirty_labels(self):
+        dyn = self.make(seed=2)
+        dyn.index()
+        assert dyn.dirty_label_count == 0
+        u, v = 0, 1
+        if not dyn.pg.graph.has_edge(u, v):
+            dyn.insert_edge(u, v)
+        else:
+            dyn.remove_edge(u, v)
+        assert dyn.dirty_label_count > 0
+        dyn.index()
+        assert dyn.dirty_label_count == 0
+
+    def test_add_vertex_with_profile(self):
+        dyn = DynamicProfiledGraph(fig1_profiled_graph())
+        tax = dyn.pg.taxonomy
+        dyn.add_vertex("Z", [tax.id_of("ML")])
+        dyn.insert_edge("Z", "B")
+        dyn.insert_edge("Z", "C")
+        dyn.insert_edge("Z", "D")
+        got = as_vertex_subtree_map(dyn.query("Z", 2))
+        fresh = as_vertex_subtree_map(pcs(dyn.pg, "Z", 2, method="basic"))
+        assert got == fresh
+        assert any("Z" in members for members in got.values())

@@ -1,0 +1,91 @@
+"""Hypothesis property tests for dynamic core maintenance."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dynamic import DynamicCoreIndex
+from repro.graph import Graph, core_numbers, gnp_graph
+
+
+@st.composite
+def edit_scripts(draw):
+    """A starting graph plus a script of edge insertions/removals."""
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(4, 20))
+    p = draw(st.floats(0.05, 0.35))
+    steps = draw(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(0, 19), st.booleans()),
+            max_size=40,
+        )
+    )
+    return seed, n, p, steps
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(script=edit_scripts())
+def test_incremental_cores_always_exact(script):
+    seed, n, p, steps = script
+    g = gnp_graph(n, p, seed=seed)
+    index = DynamicCoreIndex(g)
+    for u, v, insert in steps:
+        u %= n
+        v %= n
+        if u == v:
+            continue
+        if insert:
+            index.insert(u, v)
+        else:
+            index.remove(u, v)
+    assert index.core_numbers() == core_numbers(g)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(script=edit_scripts())
+def test_insert_never_decreases_remove_never_increases(script):
+    seed, n, p, steps = script
+    g = gnp_graph(n, p, seed=seed)
+    index = DynamicCoreIndex(g)
+    for u, v, insert in steps:
+        u %= n
+        v %= n
+        if u == v:
+            continue
+        before = index.core_numbers()
+        if insert:
+            already = g.has_edge(u, v)
+            index.insert(u, v)
+            after = index.core_numbers()
+            for w, c in after.items():
+                assert c >= before.get(w, 0)
+                assert c <= before.get(w, 0) + (0 if already else 1)
+        else:
+            existed = g.has_edge(u, v)
+            index.remove(u, v)
+            after = index.core_numbers()
+            for w, c in after.items():
+                assert c <= before.get(w, 0)
+                assert c >= before.get(w, 0) - (1 if existed else 0)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(1, 4),
+)
+def test_k_core_view_matches_graph(seed, k):
+    g = gnp_graph(25, 0.2, seed=seed)
+    index = DynamicCoreIndex(g)
+    rng = random.Random(seed)
+    for _ in range(15):
+        u, v = rng.randrange(25), rng.randrange(25)
+        if u == v:
+            continue
+        if g.has_edge(u, v):
+            index.remove(u, v)
+        else:
+            index.insert(u, v)
+    from repro.graph import k_core_vertices
+
+    assert index.k_core_vertices(k) == k_core_vertices(g, k)

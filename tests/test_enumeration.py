@@ -1,0 +1,156 @@
+"""Tests for rightmost-path subtree enumeration and Lemma 1."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.ptree import (
+    PTree,
+    ROOT,
+    Taxonomy,
+    addable_nodes,
+    count_subtrees,
+    enumerate_subtrees,
+    generate_subtrees,
+    lemma1_bound,
+    lemma1_recurrence,
+    rightmost_extensions,
+)
+
+
+def star_taxonomy(leaves: int) -> Taxonomy:
+    tax = Taxonomy()
+    for i in range(leaves):
+        tax.add(f"leaf{i}")
+    return tax
+
+
+def chain_taxonomy(length: int) -> Taxonomy:
+    tax = Taxonomy()
+    parent = ROOT
+    for i in range(length):
+        parent = tax.add(f"n{i}", parent=parent)
+    return tax
+
+
+def random_taxonomy(rng: random.Random, n: int) -> Taxonomy:
+    tax = Taxonomy()
+    for i in range(1, n):
+        tax.add(f"L{i}", parent=rng.randrange(i))
+    return tax
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("x", range(0, 12))
+    def test_recurrence_equals_closed_form(self, x):
+        assert lemma1_recurrence(x) == lemma1_bound(x)
+
+    def test_star_attains_bound(self):
+        # a root with x-1 leaf children has exactly 2^(x-1) + 1 subtrees
+        for leaves in range(0, 6):
+            tax = star_taxonomy(leaves)
+            base = PTree.from_nodes(tax, list(tax.nodes()))
+            count = len(list(enumerate_subtrees(base)))
+            assert count == lemma1_bound(leaves + 1)
+
+    def test_chain_is_linear(self):
+        tax = chain_taxonomy(5)
+        base = PTree.from_nodes(tax, list(tax.nodes()))
+        # chain of 6 nodes: subtrees are prefixes + empty = 7
+        assert len(list(enumerate_subtrees(base))) == 7
+
+    def test_bound_never_exceeded_on_random_trees(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            tax = random_taxonomy(rng, rng.randint(2, 9))
+            base = PTree.from_nodes(tax, list(tax.nodes()))
+            count = len(list(enumerate_subtrees(base)))
+            assert count <= lemma1_bound(len(base))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidInputError):
+            lemma1_bound(-1)
+        with pytest.raises(InvalidInputError):
+            lemma1_recurrence(-1)
+
+
+class TestEnumeration:
+    def test_includes_empty_by_default(self):
+        tax = star_taxonomy(1)
+        base = PTree.from_nodes(tax, list(tax.nodes()))
+        subs = list(enumerate_subtrees(base))
+        assert frozenset() in subs
+
+    def test_exclude_empty(self):
+        tax = star_taxonomy(1)
+        base = PTree.from_nodes(tax, list(tax.nodes()))
+        subs = list(enumerate_subtrees(base, include_empty=False))
+        assert frozenset() not in subs
+
+    def test_no_duplicates_and_all_closed(self):
+        rng = random.Random(1)
+        for _ in range(25):
+            tax = random_taxonomy(rng, rng.randint(3, 10))
+            base = PTree.from_nodes(tax, list(tax.nodes()))
+            subs = list(enumerate_subtrees(base))
+            assert len(subs) == len(set(subs))
+            for s in subs:
+                assert tax.is_ancestor_closed(s)
+                assert s <= base.nodes
+
+    def test_completeness_vs_count(self):
+        rng = random.Random(2)
+        for _ in range(15):
+            tax = random_taxonomy(rng, rng.randint(2, 10))
+            base = PTree.from_nodes(tax, list(tax.nodes()))
+            assert len(list(enumerate_subtrees(base))) == count_subtrees(base)
+
+    def test_partial_base(self):
+        tax = random_taxonomy(random.Random(3), 10)
+        base = PTree.from_nodes(tax, [5, 7])
+        subs = set(enumerate_subtrees(base))
+        assert all(s <= base.nodes for s in subs)
+        assert base.nodes in subs
+
+    def test_empty_base(self):
+        tax = star_taxonomy(2)
+        base = PTree.empty(tax)
+        assert list(enumerate_subtrees(base)) == [frozenset()]
+
+    def test_pruning_cuts_branches(self):
+        tax = star_taxonomy(4)
+        base = PTree.from_nodes(tax, list(tax.nodes()))
+        all_subs = list(enumerate_subtrees(base))
+        pruned = list(enumerate_subtrees(base, prune=lambda s: len(s) >= 2))
+        assert len(pruned) < len(all_subs)
+        assert all(len(s) <= 2 for s in pruned)
+
+
+class TestExtensions:
+    def test_addable_from_empty_is_root(self):
+        tax = star_taxonomy(2)
+        base = frozenset(tax.nodes())
+        assert addable_nodes(tax, base, frozenset()) == [ROOT]
+
+    def test_addable_respects_parent(self):
+        tax = chain_taxonomy(3)
+        base = frozenset(tax.nodes())
+        current = frozenset({ROOT})
+        assert addable_nodes(tax, base, current) == [tax.id_of("n0")]
+
+    def test_rightmost_subset_of_addable(self):
+        rng = random.Random(4)
+        tax = random_taxonomy(rng, 12)
+        base = frozenset(tax.nodes())
+        current = tax.closure([5])
+        rightmost = set(rightmost_extensions(tax, base, current))
+        assert rightmost <= set(addable_nodes(tax, base, current))
+
+    def test_generate_subtree_matches_paper_signature(self):
+        tax = star_taxonomy(3)
+        base = frozenset(tax.nodes())
+        children = generate_subtrees(tax, base, frozenset({ROOT}))
+        assert len(children) == 3
+        for child in children:
+            assert len(child) == 2 and ROOT in child

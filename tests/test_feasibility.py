@@ -1,0 +1,129 @@
+"""Tests for the feasibility oracle (Gk[T] computation, Lemma 2/3)."""
+
+import random
+
+import pytest
+
+from repro.core import FeasibilityOracle, KTrussCohesion
+from repro.datasets import fig1_profiled_graph, simple_profiled_graph
+from repro.datasets.taxonomies import synthetic_taxonomy
+from repro.errors import VertexNotFoundError
+from repro.graph import k_core_within
+from repro.ptree import enumerate_subtrees, PTree
+from repro.ptree.taxonomy import ROOT
+
+
+@pytest.fixture
+def pg():
+    return fig1_profiled_graph()
+
+
+def nodes_of(pg, *names):
+    return frozenset(pg.taxonomy.id_of(n) for n in names) | {ROOT}
+
+
+class TestBasicMode:
+    """Oracle without index (Algorithm 1 semantics)."""
+
+    def test_fig1_feasible_subtrees(self, pg):
+        oracle = FeasibilityOracle(pg, "D", 2)
+        assert oracle.community(nodes_of(pg, "CM", "ML", "AI")) == frozenset("BCD")
+        assert oracle.community(nodes_of(pg, "IS", "DMS")) == frozenset("ADE")
+        assert oracle.community(nodes_of(pg, "CM", "IS")) == frozenset()
+
+    def test_empty_subtree_is_gk(self, pg):
+        oracle = FeasibilityOracle(pg, "D", 2)
+        assert oracle.community(frozenset()) == frozenset("ABCDE")
+
+    def test_subtree_outside_query_profile_infeasible(self, pg):
+        oracle = FeasibilityOracle(pg, "E", 2)  # E has no CM
+        assert oracle.community(nodes_of(pg, "CM")) == frozenset()
+
+    def test_unknown_query_rejected(self, pg):
+        with pytest.raises(VertexNotFoundError):
+            FeasibilityOracle(pg, "ZZ", 2)
+
+
+class TestIndexMode:
+    def test_matches_basic_mode(self, pg):
+        index = pg.index()
+        with_index = FeasibilityOracle(pg, "D", 2, index=index)
+        without = FeasibilityOracle(pg, "D", 2)
+        base = PTree(pg.taxonomy, pg.labels("D"), _validated=True)
+        for subtree in enumerate_subtrees(base):
+            assert with_index.community(subtree) == without.community(subtree)
+
+    def test_incremental_matches_from_scratch(self, pg):
+        index = pg.index()
+        oracle = FeasibilityOracle(pg, "D", 2, index=index)
+        parent = nodes_of(pg, "CM")
+        ml = pg.taxonomy.id_of("ML")
+        child = parent | {ml}
+        incremental = oracle.community_from_parent(child, parent, ml)
+        fresh = FeasibilityOracle(pg, "D", 2, index=index).community(child)
+        assert incremental == fresh
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_cross_check(self, seed):
+        tax = synthetic_taxonomy(25, seed=seed)
+        pg = simple_profiled_graph(tax, 30, seed=seed, edge_probability=0.25)
+        index = pg.index()
+        rng = random.Random(seed)
+        q = rng.randrange(30)
+        k = rng.randint(1, 3)
+        indexed = FeasibilityOracle(pg, q, k, index=index)
+        plain = FeasibilityOracle(pg, q, k)
+        base = PTree(tax, pg.labels(q), _validated=True)
+        for subtree in enumerate_subtrees(base):
+            expected = k_core_within(
+                pg.graph, pg.vertices_with_subtree(subtree), k, q=q
+            )
+            assert plain.community(subtree) == expected
+            assert indexed.community(subtree) == expected
+
+
+class TestAntiMonotonicity:
+    """Lemma 2: supertrees of infeasible subtrees are infeasible."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_holds_on_random_instances(self, seed):
+        tax = synthetic_taxonomy(15, seed=seed)
+        pg = simple_profiled_graph(tax, 25, seed=seed, edge_probability=0.3)
+        rng = random.Random(seed)
+        q = rng.randrange(25)
+        oracle = FeasibilityOracle(pg, q, 2, index=pg.index())
+        base = PTree(tax, pg.labels(q), _validated=True)
+        subtrees = list(enumerate_subtrees(base, include_empty=False))
+        feasible = {s for s in subtrees if oracle.is_feasible(s)}
+        for s in subtrees:
+            for t in subtrees:
+                if s < t and t in feasible:
+                    assert s in feasible  # contrapositive of Lemma 2
+
+
+class TestMaximality:
+    def test_fig1_maximal(self, pg):
+        oracle = FeasibilityOracle(pg, "D", 2, index=pg.index())
+        assert oracle.is_maximal(nodes_of(pg, "CM", "ML", "AI"))
+        assert oracle.is_maximal(nodes_of(pg, "IS", "DMS"))
+        assert not oracle.is_maximal(nodes_of(pg, "CM"))
+        assert not oracle.is_maximal(nodes_of(pg, "CM", "IS"))  # infeasible
+
+    def test_verification_counter_monotone(self, pg):
+        oracle = FeasibilityOracle(pg, "D", 2, index=pg.index())
+        before = oracle.verifications
+        oracle.community(nodes_of(pg, "CM"))
+        mid = oracle.verifications
+        oracle.community(nodes_of(pg, "CM"))  # cached
+        assert mid > before
+        assert oracle.verifications == mid
+
+
+class TestAlternativeCohesion:
+    def test_truss_oracle(self, pg):
+        oracle = FeasibilityOracle(
+            pg, "D", 3, index=pg.index(), cohesion=KTrussCohesion()
+        )
+        # {B, C, D} is a triangle: a 3-truss
+        community = oracle.community(nodes_of(pg, "CM", "ML", "AI"))
+        assert community == frozenset("BCD")

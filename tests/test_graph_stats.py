@@ -1,0 +1,73 @@
+"""Tests for descriptive graph statistics."""
+
+import pytest
+
+from repro.graph import Graph, gnp_graph, ring_of_cliques
+from repro.graph.stats import (
+    GraphSummary,
+    average_clustering,
+    core_spectrum,
+    degree_histogram,
+    local_clustering,
+    summarize_graph,
+)
+
+
+class TestDegreeHistogram:
+    def test_triangle_plus_tail(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert degree_histogram(g) == {2: 2, 3: 1, 1: 1}
+
+    def test_empty(self):
+        assert degree_histogram(Graph()) == {}
+
+
+class TestClustering:
+    def test_triangle_is_one(self):
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        assert local_clustering(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_star_is_zero(self):
+        g = Graph([(0, 1), (0, 2), (0, 3)])
+        assert local_clustering(g, 0) == 0.0
+        assert local_clustering(g, 1) == 0.0  # degree 1
+
+    def test_partial(self):
+        # 0 connected to 1,2,3; only 1-2 among them
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert local_clustering(g, 0) == pytest.approx(1 / 3)
+
+    def test_sampled_deterministic(self):
+        g = gnp_graph(100, 0.1, seed=1)
+        a = average_clustering(g, sample=20, seed=5)
+        b = average_clustering(g, sample=20, seed=5)
+        assert a == b
+
+
+class TestCoreSpectrum:
+    def test_clique(self):
+        g = ring_of_cliques(1, 5)
+        assert core_spectrum(g) == {4: 5}
+
+    def test_mixed(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert core_spectrum(g) == {2: 3, 1: 1}
+
+
+class TestSummary:
+    def test_fields(self):
+        g = ring_of_cliques(2, 4)
+        summary = summarize_graph(g)
+        assert isinstance(summary, GraphSummary)
+        assert summary.num_vertices == 8
+        assert summary.degeneracy == 3
+        assert summary.num_components == 1
+        assert summary.largest_component == 8
+        assert len(summary.row()) == 8
+
+    def test_empty_graph(self):
+        summary = summarize_graph(Graph())
+        assert summary.num_vertices == 0
+        assert summary.max_degree == 0
+        assert summary.largest_component == 0

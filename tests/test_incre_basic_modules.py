@@ -1,0 +1,66 @@
+"""Module-level tests for basic_query / incre_query and oracle modes."""
+
+import pytest
+
+from repro.core import basic_query, incre_query
+from repro.core.cohesion import KCliqueCohesion, KTrussCohesion
+from repro.datasets import fig1_profiled_graph
+from repro.errors import VertexNotFoundError
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return fig1_profiled_graph()
+
+
+class TestBasicQuery:
+    def test_method_tag(self, pg):
+        assert basic_query(pg, "D", 2).method == "basic"
+
+    def test_unknown_query_rejected(self, pg):
+        with pytest.raises(VertexNotFoundError):
+            basic_query(pg, "ZZ", 2)
+
+    def test_never_builds_index(self):
+        pg2 = fig1_profiled_graph()
+        basic_query(pg2, "D", 2)
+        assert not pg2.has_index()
+
+    def test_truss_cohesion(self, pg):
+        result = basic_query(pg, "D", 3, cohesion=KTrussCohesion())
+        # triangles {B, C, D} and {A, D, E} are both 3-trusses
+        assert {c.vertices for c in result} == {frozenset("BCD"), frozenset("ADE")}
+
+    def test_clique_cohesion(self, pg):
+        result = basic_query(pg, "D", 3, cohesion=KCliqueCohesion())
+        assert all("D" in c.vertices for c in result)
+
+
+class TestIncreQuery:
+    def test_method_tag_and_index_reuse(self):
+        pg2 = fig1_profiled_graph()
+        result = incre_query(pg2, "D", 2)
+        assert result.method == "incre"
+        assert pg2.has_index()  # built and cached on first use
+        first = pg2.index()
+        incre_query(pg2, "D", 2)
+        assert pg2.index() is first
+
+    def test_explicit_index_honoured(self, pg):
+        index = pg.index()
+        result = incre_query(pg, "D", 2, index=index)
+        assert len(result) == 2
+
+    def test_matches_basic_for_all_queries(self, pg):
+        for q in pg.vertices():
+            a = {(c.subtree.nodes, c.vertices) for c in basic_query(pg, q, 2)}
+            b = {(c.subtree.nodes, c.vertices) for c in incre_query(pg, q, 2)}
+            assert a == b, q
+
+    def test_verification_counts_not_larger_than_basic(self, pg):
+        # With alive-label pruning, incre's search space is a subset of
+        # basic's, so it can never verify more subtrees.
+        for q in ("A", "B", "D"):
+            vb = basic_query(pg, q, 2).num_verifications
+            vi = incre_query(pg, q, 2).num_verifications
+            assert vi <= vb

@@ -1,0 +1,112 @@
+"""Extra tests for the intersection-closure keyword engine."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.keywords import (
+    _intersection_closure,
+    keyword_communities,
+    maximal_feasible_keyword_sets,
+)
+from repro.graph import Graph, gnp_graph, k_core_within
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestIntersectionClosure:
+    def test_contains_inputs(self):
+        patterns = [fs(1, 2, 3), fs(2, 3, 4), fs(3, 5)]
+        closure = _intersection_closure(patterns)
+        for p in patterns:
+            assert p in closure
+
+    def test_contains_pairwise_intersections(self):
+        patterns = [fs(1, 2, 3), fs(2, 3, 4), fs(3, 5)]
+        closure = set(_intersection_closure(patterns))
+        assert fs(2, 3) in closure
+        assert fs(3) in closure
+
+    def test_sorted_by_size_descending(self):
+        closure = _intersection_closure([fs(1, 2, 3), fs(2, 3), fs(3)])
+        sizes = [len(s) for s in closure]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_empty_patterns_skipped(self):
+        assert _intersection_closure([fs(), fs(1)]) == [fs(1)]
+
+
+def brute_force_max_keyword_sets(graph, keywords, q, k):
+    """Exponential reference: try every subset of W(q)."""
+    from itertools import combinations
+
+    base = sorted(keywords.get(q, fs()))
+    feasible = {}
+    for r in range(1, len(base) + 1):
+        for combo in combinations(base, r):
+            s = frozenset(combo)
+            members = [v for v in graph.vertices() if s <= keywords.get(v, fs())]
+            community = k_core_within(graph, members, k, q=q)
+            if community:
+                feasible[s] = community
+    if not feasible:
+        return []
+    best = max(len(s) for s in feasible)
+    return sorted(
+        ((s, c) for s, c in feasible.items() if len(s) == best),
+        key=lambda item: tuple(sorted(map(repr, item[0]))),
+    )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_maximum_sets_exact(self, seed):
+        rng = random.Random(seed)
+        g = gnp_graph(14, 0.35, seed=seed)
+        vocabulary = list(range(6))
+        keywords = {
+            v: frozenset(rng.sample(vocabulary, rng.randint(0, 4)))
+            for v in range(14)
+        }
+        q = rng.randrange(14)
+        k = rng.randint(1, 2)
+        expected = brute_force_max_keyword_sets(g, keywords, q, k)
+        got = keyword_communities(g, keywords, q, k)
+        assert got == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_maximal_sets_are_maximal_and_feasible(self, seed):
+        rng = random.Random(seed + 100)
+        g = gnp_graph(14, 0.35, seed=seed + 100)
+        vocabulary = list(range(6))
+        keywords = {
+            v: frozenset(rng.sample(vocabulary, rng.randint(0, 4)))
+            for v in range(14)
+        }
+        q = rng.randrange(14)
+        pairs = maximal_feasible_keyword_sets(g, keywords, q, 1)
+        sets = [s for s, _ in pairs]
+        for i, a in enumerate(sets):
+            for j, b in enumerate(sets):
+                assert i == j or not a < b
+        for s, community in pairs:
+            assert q in community
+            for v in community:
+                assert s <= keywords.get(v, fs())
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 5000))
+def test_property_keyword_engine_matches_brute_force(seed):
+    rng = random.Random(seed)
+    g = gnp_graph(10, 0.4, seed=seed)
+    keywords = {
+        v: frozenset(rng.sample(range(5), rng.randint(0, 3))) for v in range(10)
+    }
+    q = rng.randrange(10)
+    expected = brute_force_max_keyword_sets(g, keywords, q, 1)
+    got = keyword_communities(g, keywords, q, 1)
+    assert got == expected

@@ -1,0 +1,175 @@
+"""Tests for the five PCS query algorithms on the paper's example."""
+
+import pytest
+
+from repro.core import (
+    PCS_METHODS,
+    FeasibilityOracle,
+    expand_ptree,
+    find_initial_cut_decre,
+    find_initial_cut_incre,
+    find_initial_cut_path,
+    pcs,
+)
+from repro.datasets import fig1_profiled_graph
+from repro.errors import InvalidInputError
+from repro.ptree.taxonomy import ROOT
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return fig1_profiled_graph()
+
+
+def result_map(result):
+    return {c.subtree.nodes: c.vertices for c in result}
+
+
+class TestFig1AllMethods:
+    """PCS(q=D, k=2) must return the paper's two PCs for every method."""
+
+    @pytest.mark.parametrize("method", PCS_METHODS)
+    def test_two_pcs(self, pg, method):
+        result = pcs(pg, "D", 2, method=method)
+        tax = pg.taxonomy
+        expected = {
+            tax.closure([tax.id_of("ML"), tax.id_of("AI")]): frozenset("BCD"),
+            tax.closure([tax.id_of("DMS")]): frozenset("ADE"),
+        }
+        assert result_map(result) == expected
+        assert result.method.lower() == method.lower()
+
+    @pytest.mark.parametrize("method", PCS_METHODS)
+    def test_k3_single_pc(self, pg, method):
+        result = pcs(pg, "D", 3, method=method)
+        assert len(result) == 1
+        community = result[0]
+        assert community.vertices == frozenset("ABDE")
+        assert community.subtree.nodes == frozenset({ROOT})
+
+    @pytest.mark.parametrize("method", PCS_METHODS)
+    def test_no_community_when_k_too_large(self, pg, method):
+        assert len(pcs(pg, "D", 4, method=method)) == 0
+
+    @pytest.mark.parametrize("method", PCS_METHODS)
+    def test_triangle_component(self, pg, method):
+        result = pcs(pg, "F", 2, method=method)
+        assert len(result) == 1
+        assert result[0].vertices == frozenset("FGH")
+        # F, G, H share only the root (HW for F,G,H? F: IS,HW; G: CM,HW; H: IS,HW)
+        names = result[0].subtree.names()
+        assert names == {"r", "HW"}
+
+    def test_unknown_method_rejected(self, pg):
+        with pytest.raises(InvalidInputError):
+            pcs(pg, "D", 2, method="turbo")
+
+    def test_negative_k_rejected(self, pg):
+        with pytest.raises(InvalidInputError):
+            pcs(pg, "D", -1)
+
+
+class TestResultShape:
+    def test_communities_contain_query(self, pg):
+        for method in PCS_METHODS:
+            for community in pcs(pg, "D", 2, method=method):
+                assert "D" in community
+
+    def test_min_degree_satisfied(self, pg):
+        for community in pcs(pg, "D", 2):
+            for v in community.vertices:
+                deg = sum(
+                    1 for u in pg.graph.neighbors(v) if u in community.vertices
+                )
+                assert deg >= 2
+
+    def test_subtree_is_maximal_common_subtree(self, pg):
+        # For maximal feasible subtrees, T == M(Gk[T]).
+        for community in pcs(pg, "D", 2):
+            common = None
+            for v in community.vertices:
+                labels = pg.labels(v)
+                common = labels if common is None else common & labels
+            assert community.subtree.nodes == common
+
+    def test_summary_and_sorting(self, pg):
+        result = pcs(pg, "D", 2)
+        text = result.summary()
+        assert "2 communities" in text
+        sizes = [len(c.subtree) for c in result]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_elapsed_and_verifications_recorded(self, pg):
+        result = pcs(pg, "D", 2)
+        assert result.elapsed_seconds > 0
+        assert result.num_verifications > 0
+
+
+class TestInitialCutFinders:
+    @pytest.mark.parametrize(
+        "finder",
+        [find_initial_cut_incre, find_initial_cut_decre, find_initial_cut_path],
+    )
+    def test_finders_return_valid_cut(self, pg, finder):
+        oracle = FeasibilityOracle(pg, "D", 2, index=pg.index())
+        cut = finder(oracle)
+        assert cut is not None
+        infeasible, feasible = cut
+        assert oracle.is_feasible(feasible)
+        if infeasible is not None:
+            assert not oracle.is_feasible(infeasible)
+            assert feasible < infeasible
+            assert len(infeasible) == len(feasible) + 1
+
+    @pytest.mark.parametrize(
+        "finder",
+        [find_initial_cut_incre, find_initial_cut_decre, find_initial_cut_path],
+    )
+    def test_finders_none_when_no_community(self, pg, finder):
+        oracle = FeasibilityOracle(pg, "D", 4, index=pg.index())
+        assert finder(oracle) is None
+
+    @pytest.mark.parametrize(
+        "finder",
+        [find_initial_cut_decre, find_initial_cut_path],
+    )
+    def test_full_profile_feasible_special_case(self, pg, finder):
+        # k=3 from D: only {r} is feasible... use a query whose whole P-tree
+        # is feasible: C with k=2 shares its full tree with B and D.
+        oracle = FeasibilityOracle(pg, "C", 2, index=pg.index())
+        cut = finder(oracle)
+        assert cut is not None
+        infeasible, feasible = cut
+        assert infeasible is None
+        assert feasible == pg.labels("C")
+
+    def test_expand_from_each_cut_gives_same_answer(self, pg):
+        expected = None
+        for finder in (
+            find_initial_cut_incre,
+            find_initial_cut_decre,
+            find_initial_cut_path,
+        ):
+            oracle = FeasibilityOracle(pg, "D", 2, index=pg.index())
+            cut = finder(oracle)
+            results = expand_ptree(oracle, cut)
+            if expected is None:
+                expected = results
+            else:
+                assert results == expected
+
+
+class TestEmptyProfileQuery:
+    def test_query_without_profile(self):
+        from repro.core import ProfiledGraph
+        from repro.datasets import fig1_taxonomy
+        from repro.graph import Graph
+
+        tax = fig1_taxonomy()
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        pg = ProfiledGraph(g, tax, {})  # nobody has a profile
+        for method in PCS_METHODS:
+            result = pcs(pg, 0, 2, method=method)
+            assert len(result) == 1
+            assert result[0].vertices == frozenset({0, 1, 2})
+            assert len(result[0].subtree) == 0

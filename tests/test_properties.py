@@ -1,0 +1,151 @@
+"""Hypothesis property tests for the core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph import Graph, connected_k_core, core_numbers, k_core_vertices
+from repro.index import CLTree
+from repro.ptree import (
+    PTree,
+    ROOT,
+    Taxonomy,
+    count_subtrees,
+    enumerate_subtrees,
+    lemma1_bound,
+    normalized_ptree_similarity,
+    tree_edit_distance,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda e: e[0] != e[1]),
+    max_size=40,
+)
+
+
+@st.composite
+def taxonomies(draw, max_nodes: int = 10):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    tax = Taxonomy()
+    for i in range(1, n):
+        tax.add(f"L{i}", parent=rng.randrange(i))
+    return tax
+
+
+@st.composite
+def taxonomy_with_subsets(draw):
+    tax = draw(taxonomies())
+    picks = draw(
+        st.lists(st.integers(0, tax.num_nodes - 1), max_size=6)
+    )
+    return tax, picks
+
+
+# ----------------------------------------------------------------------
+# graph properties
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists)
+def test_core_numbers_vs_naive_peel(edges):
+    g = Graph(edges)
+    core = core_numbers(g)
+    for k in range(0, 5):
+        alive = set(g.vertices())
+        changed = True
+        while changed:
+            changed = False
+            for v in list(alive):
+                if sum(1 for u in g.neighbors(v) if u in alive) < k:
+                    alive.discard(v)
+                    changed = True
+        assert frozenset(v for v, c in core.items() if c >= k) == frozenset(alive)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=edge_lists, k=st.integers(0, 4))
+def test_k_core_min_degree_invariant(edges, k):
+    g = Graph(edges)
+    vertices = k_core_vertices(g, k)
+    for v in vertices:
+        assert sum(1 for u in g.neighbors(v) if u in vertices) >= k
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(edges=edge_lists, q=st.integers(0, 14), k=st.integers(0, 4))
+def test_cltree_matches_direct_k_core(edges, q, k):
+    g = Graph(edges)
+    if q not in g:
+        g.add_vertex(q)
+    clt = CLTree(g)
+    assert clt.kcore_vertices(q, k) == connected_k_core(g, q, k)
+
+
+# ----------------------------------------------------------------------
+# P-tree properties
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=taxonomy_with_subsets())
+def test_closure_is_idempotent_and_monotone(data):
+    tax, picks = data
+    closed = tax.closure(picks)
+    assert tax.closure(closed) == closed
+    assert set(picks) <= closed
+    assert tax.is_ancestor_closed(closed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=taxonomy_with_subsets(), data2=st.data())
+def test_union_intersection_preserve_closure(data, data2):
+    tax, picks = data
+    picks2 = data2.draw(st.lists(st.integers(0, tax.num_nodes - 1), max_size=6))
+    a = PTree.from_nodes(tax, picks)
+    b = PTree.from_nodes(tax, picks2)
+    assert tax.is_ancestor_closed((a | b).nodes)
+    assert tax.is_ancestor_closed((a & b).nodes)
+    # lattice laws
+    assert (a & b) <= a and (a & b) <= b
+    assert a <= (a | b) and b <= (a | b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tax=taxonomies(max_nodes=8))
+def test_enumeration_matches_dp_count_and_bound(tax):
+    base = PTree.from_nodes(tax, list(tax.nodes()))
+    subtrees = list(enumerate_subtrees(base))
+    assert len(subtrees) == len(set(subtrees)) == count_subtrees(base)
+    assert len(subtrees) <= lemma1_bound(len(base))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=taxonomy_with_subsets(), data2=st.data())
+def test_ted_is_metric_like_on_ptrees(data, data2):
+    tax, picks = data
+    picks2 = data2.draw(st.lists(st.integers(0, tax.num_nodes - 1), max_size=6))
+    a = PTree.from_nodes(tax, picks)
+    b = PTree.from_nodes(tax, picks2)
+    dist_ab = tree_edit_distance(a, b)
+    assert dist_ab == tree_edit_distance(b, a)
+    assert (dist_ab == 0) == (a == b)
+    # normalised similarity stays in [0, 1]
+    sim = normalized_ptree_similarity(a, b)
+    assert 0.0 <= sim <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=taxonomy_with_subsets())
+def test_subset_ted_equals_size_difference(data):
+    # Deleting the extra nodes is optimal when one tree contains the other.
+    tax, picks = data
+    big = PTree.from_nodes(tax, picks)
+    small = PTree.root_only(tax) if big else PTree.empty(tax)
+    assert tree_edit_distance(big, small) == abs(len(big) - len(small))

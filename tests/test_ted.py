@@ -1,0 +1,143 @@
+"""Tests for Zhang–Shasha tree edit distance."""
+
+import random
+
+import pytest
+
+from repro.ptree import (
+    OrderedTree,
+    PTree,
+    Taxonomy,
+    normalized_ptree_similarity,
+    ptree_to_ordered,
+    tree_edit_distance,
+)
+
+
+def t(label, *children):
+    return OrderedTree(label, list(children))
+
+
+class TestOrderedTree:
+    def test_size(self):
+        tree = t("a", t("b"), t("c", t("d")))
+        assert tree.size() == 4
+
+    def test_add(self):
+        tree = OrderedTree("a")
+        child = tree.add(OrderedTree("b"))
+        assert tree.children == [child]
+
+
+class TestTEDBasics:
+    def test_identical_trees(self):
+        tree = t("a", t("b"), t("c"))
+        assert tree_edit_distance(tree, tree) == 0.0
+
+    def test_empty_vs_empty(self):
+        assert tree_edit_distance(None, None) == 0.0
+
+    def test_empty_vs_tree_is_size(self):
+        tree = t("a", t("b"), t("c"))
+        assert tree_edit_distance(None, tree) == 3.0
+        assert tree_edit_distance(tree, None) == 3.0
+
+    def test_single_relabel(self):
+        assert tree_edit_distance(t("a"), t("b")) == 1.0
+
+    def test_single_insert(self):
+        assert tree_edit_distance(t("a"), t("a", t("b"))) == 1.0
+
+    def test_classic_zhang_shasha_example(self):
+        # f(d(a, c(b)), e)  vs  f(c(d(a, b)), e)  -> distance 2
+        t1 = t("f", t("d", t("a"), t("c", t("b"))), t("e"))
+        t2 = t("f", t("c", t("d", t("a"), t("b"))), t("e"))
+        assert tree_edit_distance(t1, t2) == 2.0
+
+    def test_order_matters(self):
+        t1 = t("r", t("a"), t("b"))
+        t2 = t("r", t("b"), t("a"))
+        assert tree_edit_distance(t1, t2) == 2.0
+
+
+class TestMetricAxioms:
+    def random_tree(self, rng, size):
+        nodes = [OrderedTree(rng.choice("abcd"))]
+        for _ in range(size - 1):
+            parent = rng.choice(nodes)
+            child = OrderedTree(rng.choice("abcd"))
+            parent.children.append(child)
+            nodes.append(child)
+        return nodes[0]
+
+    def test_symmetry(self):
+        rng = random.Random(0)
+        for _ in range(15):
+            t1 = self.random_tree(rng, rng.randint(1, 7))
+            t2 = self.random_tree(rng, rng.randint(1, 7))
+            assert tree_edit_distance(t1, t2) == tree_edit_distance(t2, t1)
+
+    def test_identity(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            tree = self.random_tree(rng, rng.randint(1, 8))
+            assert tree_edit_distance(tree, tree) == 0.0
+
+    def test_triangle_inequality(self):
+        rng = random.Random(2)
+        for _ in range(15):
+            a = self.random_tree(rng, rng.randint(1, 6))
+            b = self.random_tree(rng, rng.randint(1, 6))
+            c = self.random_tree(rng, rng.randint(1, 6))
+            ab = tree_edit_distance(a, b)
+            bc = tree_edit_distance(b, c)
+            ac = tree_edit_distance(a, c)
+            assert ac <= ab + bc + 1e-9
+
+    def test_bounded_by_sum_of_sizes(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            a = self.random_tree(rng, rng.randint(1, 6))
+            b = self.random_tree(rng, rng.randint(1, 6))
+            assert tree_edit_distance(a, b) <= a.size() + b.size()
+
+
+class TestPTreeIntegration:
+    @pytest.fixture
+    def tax(self):
+        tax = Taxonomy()
+        a = tax.add("a")
+        tax.add("b")
+        tax.add("c", parent=a)
+        return tax
+
+    def test_ptree_conversion(self, tax):
+        p = PTree.from_names(tax, ["c", "b"])
+        tree = ptree_to_ordered(p)
+        assert tree.label == "r"
+        assert tree.size() == 4
+
+    def test_empty_ptree_converts_to_none(self, tax):
+        assert ptree_to_ordered(PTree.empty(tax)) is None
+
+    def test_ptree_ted_subset(self, tax):
+        p1 = PTree.from_names(tax, ["c", "b"])
+        p2 = PTree.from_names(tax, ["b"])
+        # removing a and c costs 2 deletions
+        assert tree_edit_distance(p1, p2) == 2.0
+
+    def test_normalized_similarity_range(self, tax):
+        p1 = PTree.from_names(tax, ["c"])
+        p2 = PTree.from_names(tax, ["b"])
+        sim = normalized_ptree_similarity(p1, p2)
+        assert 0.0 <= sim <= 1.0
+
+    def test_normalized_similarity_identical(self, tax):
+        p = PTree.from_names(tax, ["c", "b"])
+        assert normalized_ptree_similarity(p, p) == 1.0
+
+    def test_normalized_similarity_empty(self, tax):
+        e = PTree.empty(tax)
+        assert normalized_ptree_similarity(e, e) == 1.0
+        p = PTree.from_names(tax, ["b"])
+        assert normalized_ptree_similarity(e, p) == 0.0

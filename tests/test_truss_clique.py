@@ -1,0 +1,138 @@
+"""Tests for truss decomposition and k-clique communities."""
+
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.graph import (
+    Graph,
+    connected_k_truss,
+    edge_supports,
+    gnp_graph,
+    k_clique_communities,
+    k_clique_community_of,
+    k_clique_within,
+    k_truss_edges,
+    k_truss_subgraph,
+    k_truss_within,
+    maximal_cliques,
+    ring_of_cliques,
+    truss_numbers,
+)
+
+
+def k5_graph() -> Graph:
+    g = Graph()
+    for i in range(5):
+        for j in range(i + 1, 5):
+            g.add_edge(i, j)
+    return g
+
+
+class TestEdgeSupports:
+    def test_triangle(self):
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        supports = edge_supports(g)
+        assert all(s == 1 for s in supports.values())
+        assert len(supports) == 3
+
+    def test_no_triangles(self):
+        g = Graph([(0, 1), (1, 2), (2, 3)])
+        assert all(s == 0 for s in edge_supports(g).values())
+
+
+class TestTrussNumbers:
+    def test_k5_truss(self):
+        truss = truss_numbers(k5_graph())
+        # every edge of K5 lies in 3 triangles -> truss number 5
+        assert all(t == 5 for t in truss.values())
+
+    def test_triangle_with_tail(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        truss = truss_numbers(g)
+        assert truss[(2, 3)] == 2
+        assert truss[(0, 1)] == 3
+
+    def test_empty(self):
+        assert truss_numbers(Graph()) == {}
+
+    def test_truss_core_containment(self):
+        # A k-truss is always inside the (k-1)-core.
+        from repro.graph import k_core_vertices
+
+        g = gnp_graph(60, 0.15, seed=5)
+        for k in (3, 4):
+            truss_vertices = k_truss_subgraph(g, k).vertex_set()
+            core = k_core_vertices(g, k - 1)
+            assert truss_vertices <= core
+
+
+class TestKTrussExtraction:
+    def test_k_below_two_rejected(self):
+        with pytest.raises(InvalidInputError):
+            k_truss_edges(Graph(), 1)
+
+    def test_connected_k_truss(self):
+        g = ring_of_cliques(2, 4)
+        community = connected_k_truss(g, 0, 4)
+        assert community == frozenset({0, 1, 2, 3})
+
+    def test_connected_k_truss_absent_q(self):
+        g = Graph([(0, 1)])
+        assert connected_k_truss(g, 0, 3) == frozenset()
+
+    def test_k_truss_within_restriction(self):
+        g = k5_graph()
+        assert k_truss_within(g, range(5), 4, q=0) == frozenset(range(5))
+        assert k_truss_within(g, [0, 1, 2], 4, q=0) == frozenset()
+
+    def test_k_truss_within_no_q(self):
+        g = k5_graph()
+        assert k_truss_within(g, range(5), 5) == frozenset(range(5))
+
+
+class TestMaximalCliques:
+    def test_k5_single_clique(self):
+        cliques = list(maximal_cliques(k5_graph()))
+        assert cliques == [frozenset(range(5))]
+
+    def test_path_cliques_are_edges(self):
+        g = Graph([(0, 1), (1, 2)])
+        cliques = {frozenset(c) for c in maximal_cliques(g)}
+        assert cliques == {frozenset({0, 1}), frozenset({1, 2})}
+
+    def test_counts_on_random_graph(self):
+        g = gnp_graph(25, 0.3, seed=2)
+        cliques = list(maximal_cliques(g))
+        adj = g.adjacency()
+        for clique in cliques:
+            members = sorted(clique)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    assert v in adj[u]
+
+
+class TestKCliqueCommunities:
+    def test_two_overlapping_triangles(self):
+        # triangles 0,1,2 and 1,2,3 share edge {1,2}: one 3-clique community
+        g = Graph([(0, 1), (1, 2), (2, 0), (1, 3), (2, 3)])
+        comms = k_clique_communities(g, 3)
+        assert comms == [frozenset({0, 1, 2, 3})]
+
+    def test_disjoint_triangles_two_communities(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)])
+        comms = k_clique_communities(g, 3)
+        assert len(comms) == 2
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(InvalidInputError):
+            k_clique_communities(Graph(), 1)
+
+    def test_community_of_q(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)])
+        assert k_clique_community_of(g, 4, 3) == frozenset({4, 5, 6})
+        assert k_clique_community_of(g, 0, 4) == frozenset()
+
+    def test_within_restriction(self):
+        g = k5_graph()
+        assert k_clique_within(g, [0, 1, 2], 3, q=0) == frozenset({0, 1, 2})
+        assert k_clique_within(g, range(5), 5) == frozenset(range(5))

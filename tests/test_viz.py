@@ -1,0 +1,79 @@
+"""Tests for the rendering helpers."""
+
+import pytest
+
+from repro.core import pcs
+from repro.datasets import fig1_profiled_graph
+from repro.viz import (
+    ascii_adjacency,
+    communities_to_dot,
+    community_card,
+    graph_to_dot,
+    taxonomy_to_dot,
+)
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return fig1_profiled_graph()
+
+
+@pytest.fixture(scope="module")
+def communities(pg):
+    return list(pcs(pg, "D", 2))
+
+
+class TestGraphDot:
+    def test_contains_all_vertices_and_edges(self, pg):
+        dot = graph_to_dot(pg.graph)
+        assert dot.startswith("graph G {")
+        for v in pg.vertices():
+            assert f'"{v}"' in dot
+        assert dot.count(" -- ") == pg.num_edges
+
+    def test_highlight_colours_groups(self, pg, communities):
+        dot = graph_to_dot(pg.graph, highlight=[c.vertices for c in communities])
+        assert "#e6550d" in dot and "#3182bd" in dot
+
+    def test_escapes_quotes(self):
+        from repro.graph import Graph
+
+        g = Graph([('a"b', "c")])
+        dot = graph_to_dot(g)
+        assert r"\"" in dot
+
+
+class TestTaxonomyDot:
+    def test_marks_ptree(self, pg):
+        mark = pg.ptree("B")
+        dot = taxonomy_to_dot(pg.taxonomy, mark=mark)
+        assert dot.count("#fdae6b") == len(mark)
+        assert "ML" in dot
+
+    def test_elision_keeps_marked(self, pg):
+        mark = pg.ptree("D")
+        dot = taxonomy_to_dot(pg.taxonomy, mark=mark, max_nodes=1)
+        for node in mark.nodes:
+            assert f"n{node} [" in dot
+
+
+class TestCommunityRendering:
+    def test_communities_to_dot_subgraph_only(self, pg, communities):
+        dot = communities_to_dot(pg, communities)
+        assert '"F"' not in dot  # F participates in no k=2 community of D
+        assert '"D"' in dot
+
+    def test_include_rest(self, pg, communities):
+        dot = communities_to_dot(pg, communities, include_rest=True)
+        assert '"F"' in dot
+
+    def test_ascii_adjacency(self, pg):
+        art = ascii_adjacency(pg.graph)
+        assert " x" in art and " ." in art
+        assert len(art.splitlines()) == pg.num_vertices + 1
+
+    def test_community_card(self, pg, communities):
+        card = community_card(pg, communities[0])
+        assert card.splitlines()[0].startswith("+")
+        assert "members:" in card
+        assert "theme:" in card
