@@ -7,7 +7,6 @@ GP-tree size) land near the paper's values while n and m scale down
 proportionally.
 """
 
-import pytest
 
 from repro.bench import Table, save_tables
 from repro.datasets import DATASET_SPECS, load_dataset

@@ -8,21 +8,26 @@ Environment knobs:
 
 * ``REPRO_BENCH_QUERIES`` — queries per workload (default 5; the paper uses
   100 on a Java implementation);
-* ``REPRO_BENCH_SCALE``   — multiplier applied to every dataset scale.
+* ``REPRO_BENCH_SCALE``   — multiplier applied to every dataset scale;
+* ``REPRO_BENCH_SMOKE``   — CI fast path (also set by ``pytest --smoke``):
+  halves dataset scales, caps workloads at 2 queries, single repeats.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple
 
 import pytest
 
-from repro.bench import make_workload
+from repro.bench import make_workload, smoke_mode
 from repro.datasets import load_dataset, load_ego_network
 
+#: Smoke-mode budgets (seconds-scale total runtime under CI).
+SMOKE_QUERY_CAP = 2
+SMOKE_SCALE_MULT = 0.5
+
 #: Default generation scales (fraction of the paper's vertex counts).
-BENCH_SCALES: Dict[str, float] = {
+BENCH_SCALES: dict = {
     "acmdl": 0.02,
     "flickr": 0.005,
     "pubmed": 0.005,
@@ -34,11 +39,14 @@ DEFAULT_K = 6
 
 
 def bench_queries() -> int:
-    return int(os.environ.get("REPRO_BENCH_QUERIES", "5"))
+    queries = int(os.environ.get("REPRO_BENCH_QUERIES", "5"))
+    return min(queries, SMOKE_QUERY_CAP) if smoke_mode() else queries
 
 
 def bench_scale(name: str) -> float:
     mult = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    if smoke_mode():
+        mult *= SMOKE_SCALE_MULT
     return min(1.0, BENCH_SCALES[name] * mult)
 
 

@@ -1,0 +1,26 @@
+"""Repository-root pytest configuration.
+
+Registers the ``--smoke`` fast-path flag here (the rootdir conftest is the
+only place pytest guarantees ``pytest_addoption`` is seen regardless of
+which directory is collected). The flag flips the whole benchmark suite to
+seconds-scale budgets by exporting :data:`repro.bench.harness.SMOKE_ENV`
+before fixtures run; ``benchmarks/conftest.py`` and the bench harness read
+it from there, so ``REPRO_BENCH_SMOKE=1`` in the environment works too
+(e.g. for running a benchmark file as a plain script).
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="benchmark fast path: tiny datasets, few queries, single repeats",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--smoke"):
+        os.environ["REPRO_BENCH_SMOKE"] = "1"

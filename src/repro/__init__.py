@@ -13,7 +13,9 @@ The package implements Profiled Community Search (PCS) end to end:
 * :mod:`repro.metrics` — CPS, LDR, CPF, F1 and size statistics;
 * :mod:`repro.datasets` — seeded synthetic profiled graphs calibrated to the
   paper's datasets, plus serialisation;
-* :mod:`repro.bench` — benchmark harness utilities.
+* :mod:`repro.bench` — benchmark harness utilities;
+* :mod:`repro.engine` — the batched query engine (:class:`CommunityExplorer`)
+  with index reuse, an LRU result cache and thread-pool fan-out.
 
 Quickstart::
 
@@ -42,6 +44,10 @@ def __getattr__(name: str):
             "ProfiledCommunity": ProfiledCommunity,
             "ProfiledGraph": ProfiledGraph,
         }[name]
+    if name in ("CommunityExplorer", "QuerySpec"):
+        from repro.engine import CommunityExplorer, QuerySpec
+
+        return {"CommunityExplorer": CommunityExplorer, "QuerySpec": QuerySpec}[name]
     if name == "datasets":
         import repro.datasets as datasets
 

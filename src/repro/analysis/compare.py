@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from itertools import combinations
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
 
 Vertex = Hashable
 Cover = Sequence[FrozenSet[Vertex]]

@@ -2,25 +2,44 @@
 
 from repro.bench.harness import (
     RESULTS_DIR,
+    SMOKE_ENV,
     Table,
     Timing,
+    bench_repeats,
     geometric_speedup,
     save_result,
     save_tables,
+    smoke_mode,
     time_call,
 )
-from repro.bench.workloads import DEFAULT_K, PAPER_QUERY_COUNT, Workload, make_workload
+from repro.bench.workloads import (
+    DEFAULT_K,
+    PAPER_QUERY_COUNT,
+    ColdWarmReport,
+    ThroughputReport,
+    Workload,
+    make_workload,
+    measure_cold_warm,
+    run_throughput,
+)
 
 __all__ = [
     "Table",
     "Timing",
     "time_call",
+    "bench_repeats",
+    "smoke_mode",
+    "SMOKE_ENV",
     "geometric_speedup",
     "save_result",
     "save_tables",
     "RESULTS_DIR",
     "Workload",
     "make_workload",
+    "ThroughputReport",
+    "run_throughput",
+    "ColdWarmReport",
+    "measure_cold_warm",
     "DEFAULT_K",
     "PAPER_QUERY_COUNT",
 ]

@@ -9,6 +9,7 @@ terminal, mirroring the paper's rows/series) and persists them as JSON under
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -19,6 +20,20 @@ Number = Union[int, float]
 
 #: Repository-level results directory (created on demand).
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+#: Environment flag that puts the whole bench suite in smoke mode
+#: (seconds-not-minutes budgets; set by ``pytest --smoke`` or CI).
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when the benchmark suite runs in the CI fast path."""
+    return os.environ.get(SMOKE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def bench_repeats(default: int = 3) -> int:
+    """Per-measurement repeat count: 1 under smoke mode, ``default`` otherwise."""
+    return 1 if smoke_mode() else default
 
 
 @dataclass
@@ -104,8 +119,14 @@ class Timing:
     max_ms: float
 
 
-def time_call(fn: Callable[[], object], repeats: int = 3) -> Timing:
-    """Time ``fn()`` ``repeats`` times (perf_counter, milliseconds)."""
+def time_call(fn: Callable[[], object], repeats: Optional[int] = None) -> Timing:
+    """Time ``fn()`` ``repeats`` times (perf_counter, milliseconds).
+
+    ``repeats=None`` (the default) resolves via :func:`bench_repeats`:
+    3 normally, 1 under smoke mode.
+    """
+    if repeats is None:
+        repeats = bench_repeats(3)
     samples: List[float] = []
     for _ in range(repeats):
         start = time.perf_counter()

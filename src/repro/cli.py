@@ -17,15 +17,24 @@ Show a dataset's Table-2 statistics::
 Export a generated dataset to JSON::
 
     python -m repro export --dataset acmdl --scale 0.01 --out acmdl.json
+
+Serve a whole query file through the batched engine (JSON on stdout)::
+
+    python -m repro batch --dataset fig1 --queries queries.txt --k 2
+
+Measure cold- vs warm-index engine throughput::
+
+    python -m repro bench-engine --dataset acmdl --num-queries 10 --repeat 3
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.core import PCS_METHODS, pcs
+from repro.core import ALL_METHODS, PCS_METHODS, pcs
 from repro.core.profiled_graph import ProfiledGraph
 from repro.datasets import (
     dataset_names,
@@ -33,6 +42,12 @@ from repro.datasets import (
     load_dataset,
     load_profiled_graph,
     save_profiled_graph,
+)
+from repro.engine import (
+    CommunityExplorer,
+    coerce_spec_vertices,
+    load_query_file,
+    result_to_dict,
 )
 from repro.graph.generators import random_queries
 
@@ -93,6 +108,78 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    pg = _load(args)
+    specs = load_query_file(args.queries, default_k=args.k, default_method=args.method)
+    if not specs:
+        print(f"no queries found in {args.queries}", file=sys.stderr)
+        return 1
+    specs = coerce_spec_vertices(pg, specs)
+    explorer = CommunityExplorer(pg, max_workers=args.workers)
+    results = explorer.explore_many(specs)
+    stats = explorer.stats()
+    payload = {
+        "dataset": args.dataset,
+        "num_queries": len(specs),
+        "results": [result_to_dict(r) for r in results],
+        "engine": {
+            "queries_served": stats.queries_served,
+            "cache_hits": stats.cache.hits,
+            "cache_misses": stats.cache.misses,
+            "cache_hit_rate": stats.cache_hit_rate,
+            "index_builds": stats.index_builds,
+            "index_build_seconds": stats.index_build_seconds,
+        },
+    }
+    text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out} ({len(specs)} queries)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_bench_engine(args: argparse.Namespace) -> int:
+    from repro.bench import make_workload, measure_cold_warm
+
+    pg = _load(args)
+    workload = make_workload(
+        pg, args.dataset, num_queries=args.num_queries, k=args.k, seed=args.seed
+    )
+    if not len(workload):
+        print("no query vertices available", file=sys.stderr)
+        return 1
+
+    report = measure_cold_warm(
+        pg,
+        workload,
+        method=args.method,
+        cold_query_cap=args.cold_queries,
+        repeat_factor=args.repeat,
+        workers=args.workers,
+    )
+    throughput = report.throughput
+    print(f"dataset            : {args.dataset}")
+    print(f"method             : {args.method}  k={workload.k}")
+    print(f"cold (rebuild/query): {report.cold_ms_per_query:.2f} ms/query "
+          f"over {report.cold_query_count} queries")
+    print(f"warm (engine)      : {report.warm_ms_per_query:.2f} ms/query "
+          f"over {throughput.queries} queries "
+          f"(+ one-time index build {report.warm_index_build_seconds * 1000:.2f} ms)")
+    print(f"throughput         : {throughput.queries_per_second:.1f} queries/sec")
+    print(f"cache hit rate     : {throughput.cache_hit_rate:.2%}")
+    print(f"speedup (cold/warm): {report.speedup:.1f}x")
+    if args.out:
+        payload = {"dataset": args.dataset, **report.to_dict()}
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,6 +211,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(e)
     e.add_argument("--out", required=True, help="output path")
     e.set_defaults(func=cmd_export)
+
+    b = sub.add_parser("batch", help="serve a query file through the engine")
+    add_dataset_args(b)
+    b.add_argument("--queries", required=True, help="query file (text/JSON/JSONL)")
+    b.add_argument("--k", type=int, default=6, help="default k for bare vertices")
+    b.add_argument("--method", default="adv-P", choices=ALL_METHODS)
+    b.add_argument("--workers", type=int, default=None, help="thread-pool width")
+    b.add_argument("--out", help="write JSON here instead of stdout")
+    b.set_defaults(func=cmd_batch)
+
+    be = sub.add_parser("bench-engine", help="cold vs warm engine throughput")
+    add_dataset_args(be)
+    be.add_argument("--k", type=int, default=6)
+    be.add_argument("--method", default="adv-P", choices=ALL_METHODS)
+    be.add_argument("--num-queries", type=int, default=10)
+    be.add_argument("--cold-queries", type=int, default=3,
+                    help="queries timed with per-query index rebuild")
+    be.add_argument("--repeat", type=int, default=2,
+                    help="times the workload is replayed through the cache")
+    be.add_argument("--workers", type=int, default=None)
+    be.add_argument("--out", help="write a JSON report here")
+    be.set_defaults(func=cmd_bench_engine)
     return parser
 
 

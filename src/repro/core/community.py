@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Hashable, Iterator, List, Tuple
+from typing import FrozenSet, Hashable, Iterator, List
 
 from repro.ptree.ptree import PTree
 

@@ -32,7 +32,6 @@ from repro.core.profiled_graph import ProfiledGraph
 from repro.errors import VertexNotFoundError
 from repro.index.cptree import CPTree
 from repro.ptree.enumeration import addable_nodes
-from repro.ptree.taxonomy import ROOT
 
 Vertex = Hashable
 NodeSet = FrozenSet[int]

@@ -22,7 +22,7 @@ skipped via feasibility memoisation).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+from typing import FrozenSet, Hashable, List, Mapping, Optional, Tuple
 
 from repro.graph.core import k_core_within
 from repro.graph.graph import Graph

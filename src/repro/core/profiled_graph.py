@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Optional, Union
+from typing import Dict, FrozenSet, Hashable, Iterator, Mapping, Optional, Union
 
 from repro.errors import InvalidInputError, VertexNotFoundError
 from repro.graph.graph import Graph
@@ -193,6 +193,15 @@ class ProfiledGraph:
 
     def has_index(self) -> bool:
         return self._index is not None
+
+    def clear_index(self) -> None:
+        """Drop the cached CP-tree so the next :meth:`index` call rebuilds.
+
+        Used by benchmarks that must charge index construction to a
+        specific phase (e.g. the engine's warm-up) instead of inheriting
+        whatever a previous measurement left behind.
+        """
+        self._index = None
 
     # ------------------------------------------------------------------
     # sampling (scalability experiments)

@@ -38,6 +38,7 @@ def pcs(
     method: str = "adv-P",
     index: Optional[CPTree] = None,
     cohesion: CohesionModel = None,
+    engine: object = None,
 ) -> PCSResult:
     """Profiled community search: all PCs of query vertex ``q`` (Problem 1).
 
@@ -58,6 +59,12 @@ def pcs(
     cohesion:
         Optional alternative structure model (``"k-truss"``, ``"k-clique"``
         or a :class:`~repro.core.cohesion.CohesionModel` instance).
+    engine:
+        Optional :class:`~repro.engine.explorer.CommunityExplorer`. When
+        given, the query is served through the engine — its cached indexes
+        and LRU result cache — instead of dispatching directly; the engine
+        must wrap ``pg`` (checked). ``index`` is ignored on this path (the
+        engine owns index lifetime).
 
     Returns
     -------
@@ -74,6 +81,14 @@ def pcs(
     """
     if k < 0:
         raise InvalidInputError(f"k must be non-negative, got {k}")
+    if engine is not None:
+        # Engine-aware path: serve through the session's index + result
+        # cache. Duck-typed to avoid a core -> engine import cycle.
+        if getattr(engine, "pg", None) is not pg:
+            raise InvalidInputError(
+                "engine serves a different ProfiledGraph than the one passed to pcs()"
+            )
+        return engine.explore(q, k, method=method, cohesion=cohesion)
     name = method.lower()
     if name == "basic":
         return basic_query(pg, q, k, cohesion=cohesion)

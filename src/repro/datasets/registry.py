@@ -19,9 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.core.profiled_graph import ProfiledGraph
 from repro.datasets.synthetic import SyntheticConfig, synthetic_profiled_graph
 from repro.datasets.taxonomies import ccs_like_taxonomy, mesh_like_taxonomy
 from repro.errors import InvalidInputError

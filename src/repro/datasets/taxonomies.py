@@ -14,7 +14,7 @@ labels). We provide:
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Union
 
 from repro.errors import InvalidInputError
 from repro.ptree.taxonomy import Taxonomy

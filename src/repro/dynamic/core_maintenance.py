@@ -26,7 +26,7 @@ across thousands of random edits.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Hashable, Iterable, Set
+from typing import Dict, FrozenSet, Hashable, Set
 
 from repro.errors import InvalidInputError, VertexNotFoundError
 from repro.graph.core import core_numbers

@@ -1,0 +1,30 @@
+"""Batched query engine with index reuse (the online-serving layer)."""
+
+from repro.engine.batchfile import (
+    coerce_spec_vertices,
+    load_query_file,
+    parse_query_text,
+    result_to_dict,
+)
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.explorer import (
+    DEFAULT_K,
+    DEFAULT_METHOD,
+    CommunityExplorer,
+    EngineStats,
+    QuerySpec,
+)
+
+__all__ = [
+    "CommunityExplorer",
+    "EngineStats",
+    "QuerySpec",
+    "DEFAULT_K",
+    "DEFAULT_METHOD",
+    "LRUCache",
+    "CacheStats",
+    "load_query_file",
+    "parse_query_text",
+    "coerce_spec_vertices",
+    "result_to_dict",
+]

@@ -1,0 +1,143 @@
+"""Query-file parsing and result serialisation for the batch CLI.
+
+``repro batch`` reads queries from a file in any of three formats, decided
+per file:
+
+* **JSON** — a top-level list whose items are vertices, ``[q, k]``-style
+  arrays, or ``{"q": ..., "k": ..., "method": ..., "cohesion": ...}``
+  objects;
+* **JSON lines** — one such item per line;
+* **plain text** — one query vertex per line (``#`` comments allowed), all
+  sharing the CLI-level ``--k``/``--method`` defaults.
+
+Precedence: content that parses as one JSON document is always read as the
+whole-file list form — so a file whose entire content is ``["E", 3]`` means
+*two* queries (vertices ``"E"`` and ``3``), not one ``(q, k)`` pair. Use an
+object line (``{"q": "E", "k": 3}``) for a single parametrised query;
+``[q, k]``-style array lines are only distinguishable in multi-line files.
+
+Results serialise to plain dicts (no custom JSON encoder needed downstream).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable, List, Union
+
+from repro.core.community import PCSResult
+from repro.core.profiled_graph import ProfiledGraph
+from repro.engine.explorer import QuerySpec
+from repro.errors import InvalidInputError
+
+Vertex = Hashable
+
+
+def _coerce_item(item: object) -> QuerySpec:
+    if isinstance(item, list):
+        item = tuple(item)
+    return QuerySpec.coerce(item)
+
+
+def parse_query_text(
+    text: str, default_k: int = 6, default_method: str = None
+) -> List[QuerySpec]:
+    """Parse query-file contents into :class:`QuerySpec` items."""
+    stripped = text.strip()
+    if not stripped:
+        return []
+    if stripped[0] == "[":
+        # Whole-file JSON list — but a JSON-lines file may also start with
+        # an ``[q, k]``-style array item, so fall through to per-line
+        # parsing when the file as a whole is not one JSON document.
+        try:
+            items = json.loads(stripped)
+        except json.JSONDecodeError:
+            items = None
+        if items is not None:
+            if not isinstance(items, list):
+                raise InvalidInputError("JSON query file must hold a list")
+            return [
+                _with_defaults(_coerce_item(i), default_k, default_method) for i in items
+            ]
+    specs: List[QuerySpec] = []
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line[0] in "{[":
+            try:
+                item = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise InvalidInputError(
+                    f"query file line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            specs.append(_with_defaults(_coerce_item(item), default_k, default_method))
+        else:
+            specs.append(QuerySpec(q=line, k=default_k, method=default_method))
+    return specs
+
+
+def _with_defaults(spec: QuerySpec, default_k: int, default_method: str) -> QuerySpec:
+    """Fill CLI-level defaults into specs parsed from bare vertices."""
+    k = spec.k if spec.k is not None else default_k
+    method = spec.method if spec.method is not None else default_method
+    if k == spec.k and method == spec.method:
+        return spec
+    return QuerySpec(q=spec.q, k=k, method=method, cohesion=spec.cohesion)
+
+
+def load_query_file(
+    path: Union[str, Path], default_k: int = 6, default_method: str = None
+) -> List[QuerySpec]:
+    """Read and parse a query file (see module docstring for formats)."""
+    return parse_query_text(
+        Path(path).read_text(encoding="utf-8"),
+        default_k=default_k,
+        default_method=default_method,
+    )
+
+
+def coerce_spec_vertices(pg: ProfiledGraph, specs: List[QuerySpec]) -> List[QuerySpec]:
+    """Re-type string vertices as ints where the graph uses int vertices.
+
+    Text formats cannot distinguish ``"3"`` from ``3``; mirror the single-
+    query CLI's coercion so batch files work on integer-vertex datasets.
+    """
+    out: List[QuerySpec] = []
+    for spec in specs:
+        q = spec.q
+        if isinstance(q, str) and q not in pg:
+            try:
+                as_int = int(q)
+            except ValueError:
+                as_int = None
+            if as_int is not None and as_int in pg:
+                q = as_int
+        out.append(spec if q is spec.q else QuerySpec(q, spec.k, spec.method, spec.cohesion))
+    return out
+
+
+def result_to_dict(result: PCSResult) -> dict:
+    """One PCS result as a JSON-ready dict."""
+    return {
+        "query": _json_vertex(result.query),
+        "k": result.k,
+        "method": result.method,
+        "num_communities": len(result),
+        "elapsed_ms": round(result.elapsed_seconds * 1000.0, 4),
+        "num_verifications": result.num_verifications,
+        "communities": [
+            {
+                "size": community.size,
+                "vertices": sorted(map(_json_vertex, community.vertices), key=str),
+                "theme": sorted(community.theme()),
+                "subtree_size": len(community.subtree),
+            }
+            for community in result
+        ],
+    }
+
+
+def _json_vertex(v: Vertex) -> object:
+    return v if isinstance(v, (str, int, float, bool)) or v is None else str(v)

@@ -1,0 +1,125 @@
+"""Thread-safe LRU cache with hit/miss accounting.
+
+The engine's result cache: bounded, least-recently-used eviction, and
+counters precise enough to drive the throughput benchmarks (hit rate is a
+first-class metric of the serving layer). A ``maxsize`` of ``None`` means
+unbounded; ``0`` disables caching entirely while keeping the accounting
+(every lookup is a miss).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, Optional, Tuple
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's accounting."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: Optional[int]
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded mapping with LRU eviction and hit/miss counters.
+
+    All operations take an internal lock, so one cache can be shared by the
+    thread-pool fan-out of :class:`~repro.engine.explorer.CommunityExplorer`.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 1024) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0 or None, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look ``key`` up, counting a hit or a miss."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._hits += 1
+            self._data.move_to_end(key)
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look ``key`` up without touching counters or recency."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if self.maxsize is not None:
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+                    self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._data.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """Snapshot of the cache contents, LRU first."""
+        with self._lock:
+            return iter(list(self._data.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"LRUCache(size={s.size}/{s.maxsize}, hits={s.hits}, "
+            f"misses={s.misses}, evictions={s.evictions})"
+        )

@@ -1,0 +1,361 @@
+"""The batched query engine: a session object over one profiled graph.
+
+The paper's pitch is *online, interactive* community exploration: the
+CL-tree/CP-tree index is built once and amortised over many queries
+(§4.2 — "Query efficiency"). :class:`CommunityExplorer` is the serving-side
+embodiment of that claim:
+
+* it owns one :class:`~repro.core.profiled_graph.ProfiledGraph` and builds
+  its CP-tree (and, on demand, the whole-graph CL-tree) exactly once,
+  lazily, then reuses them for every subsequent query;
+* it memoises complete :class:`~repro.core.community.PCSResult` objects in
+  an LRU cache keyed on ``(q, k, method, cohesion)``, so repeated
+  exploration of the same vertex — the common interactive pattern — is a
+  dictionary lookup;
+* it serves batches through :meth:`CommunityExplorer.explore_many`, with
+  intra-batch deduplication and optional thread-pool fan-out for the
+  independent cache misses.
+
+Every future scaling layer (sharding, async serving, multi-backend) is
+expected to sit on top of this object rather than on raw ``pcs()`` calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, List, Optional, Tuple, Union
+
+from repro.core.cohesion import CohesionModel, get_cohesion
+from repro.core.community import PCSResult
+from repro.core.profiled_graph import ProfiledGraph
+from repro.core.search import ALL_METHODS, pcs
+from repro.engine.cache import CacheStats, LRUCache
+from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.index.cltree import CLTree
+from repro.index.cptree import CPTree
+
+Vertex = Hashable
+
+#: Methods whose per-query work never reads the CP-tree.
+_INDEX_FREE_METHODS = frozenset({"basic"})
+
+#: Paper default (§5.1).
+DEFAULT_K = 6
+DEFAULT_METHOD = "adv-P"
+
+
+def _normalize_method(method: str) -> str:
+    """Canonical casing for a method name (raises on unknown methods)."""
+    name = method.lower()
+    for known in ALL_METHODS:
+        if known.lower() == name:
+            return known
+    raise InvalidInputError(
+        f"unknown PCS method {method!r}; expected one of {ALL_METHODS}"
+    )
+
+
+def _cohesion_token(cohesion):
+    """A hashable cache-key component that still resolves to the model.
+
+    ``None`` and registered names collapse to the canonical registry name
+    (so ``None``, ``"k-core"`` and ``KCoreCohesion`` share cache entries).
+    Model *instances* are kept as-is and keyed by identity: an unregistered
+    or parametrized model (e.g. ``FractionalKCoreCohesion(0.8)``) must run
+    with exactly the object the caller supplied — collapsing it to a name
+    would lose its parameters or fail registry lookup.
+    """
+    if cohesion is None:
+        return "k-core"
+    if isinstance(cohesion, str):
+        return get_cohesion(cohesion).name
+    if isinstance(cohesion, CohesionModel):
+        return cohesion
+    if isinstance(cohesion, type) and issubclass(cohesion, CohesionModel):
+        return get_cohesion(cohesion).name if _is_registered(cohesion) else cohesion()
+    raise InvalidInputError(f"cannot interpret {cohesion!r} as a cohesion model")
+
+
+def _is_registered(cls) -> bool:
+    try:
+        return type(get_cohesion(cls.name)) is cls
+    except InvalidInputError:
+        return False
+
+
+def _cohesion_from_token(token) -> Optional[CohesionModel]:
+    """Inverse of :func:`_cohesion_token` for query execution."""
+    if token == "k-core":
+        return None  # the paper default; lets pcs() use the index fast path
+    if isinstance(token, str):
+        return get_cohesion(token)
+    return token
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One PCS query in a batch: ``(q, k, method, cohesion)``.
+
+    ``k``/``method``/``cohesion`` of ``None`` inherit the explorer's defaults
+    at execution time; the cache key is always fully resolved, so a spec with
+    ``method=None`` and one with the explicit default method share an entry.
+    """
+
+    q: Vertex
+    k: Optional[int] = None
+    method: Optional[str] = None
+    #: A registered model name, a CohesionModel instance, or None.
+    cohesion: Optional[object] = None
+
+    @classmethod
+    def coerce(cls, item: Union["QuerySpec", Vertex, Tuple, dict]) -> "QuerySpec":
+        """Build a spec from a spec, mapping, ``(q, k[, method[, cohesion]])``
+        tuple, or bare vertex."""
+        if isinstance(item, cls):
+            return item
+        if isinstance(item, dict):
+            unknown = set(item) - {"q", "k", "method", "cohesion"}
+            if unknown:
+                raise InvalidInputError(f"unknown QuerySpec fields: {sorted(unknown)}")
+            if "q" not in item:
+                raise InvalidInputError("QuerySpec mapping needs a 'q' field")
+            return cls(**item)
+        if isinstance(item, tuple):
+            if not 1 <= len(item) <= 4:
+                raise InvalidInputError(
+                    f"QuerySpec tuple needs 1-4 fields (q, k, method, cohesion), got {len(item)}"
+                )
+            return cls(*item)
+        return cls(q=item)
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Snapshot of an explorer's serving counters."""
+
+    queries_served: int
+    cache: CacheStats
+    index_builds: int
+    index_build_seconds: float
+    batches: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+
+@dataclass
+class _Counters:
+    queries_served: int = 0
+    index_builds: int = 0
+    index_build_seconds: float = 0.0
+    batches: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class CommunityExplorer:
+    """A reusable PCS query session over one profiled graph.
+
+    Parameters
+    ----------
+    pg:
+        The profiled graph to serve queries against.
+    cache_size:
+        LRU result-cache capacity (``None`` = unbounded, ``0`` = disabled).
+    max_workers:
+        Default thread-pool width for :meth:`explore_many` (``None`` =
+        sequential unless a call overrides it).
+    default_k, default_method, default_cohesion:
+        Fallbacks applied when a query/spec omits them.
+
+    Examples
+    --------
+    >>> from repro.datasets import fig1_profiled_graph
+    >>> ex = CommunityExplorer(fig1_profiled_graph())
+    >>> len(ex.explore("D", k=2))
+    2
+    >>> [len(r) for r in ex.explore_many([("D", 2), ("D", 2)])]
+    [2, 2]
+    >>> ex.stats().cache.hits
+    2
+    """
+
+    def __init__(
+        self,
+        pg: ProfiledGraph,
+        cache_size: Optional[int] = 1024,
+        max_workers: Optional[int] = None,
+        default_k: int = DEFAULT_K,
+        default_method: str = DEFAULT_METHOD,
+        default_cohesion: Optional[str] = None,
+    ) -> None:
+        if default_k < 0:
+            raise InvalidInputError(f"default_k must be non-negative, got {default_k}")
+        self.pg = pg
+        self.default_k = default_k
+        self.default_method = _normalize_method(default_method)
+        self.default_cohesion = default_cohesion
+        self.max_workers = max_workers
+        self._cache = LRUCache(maxsize=cache_size)
+        self._counters = _Counters()
+        self._cltree: Optional[CLTree] = None
+        self._index_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # index ownership
+    # ------------------------------------------------------------------
+    def index(self) -> CPTree:
+        """The CP-tree, built on first use and reused forever after.
+
+        Thread-safe: concurrent first calls build the index once.
+        """
+        with self._index_lock:
+            if not self.pg.has_index():
+                start = time.perf_counter()
+                built = self.pg.index()
+                elapsed = time.perf_counter() - start
+                with self._counters.lock:
+                    self._counters.index_builds += 1
+                    self._counters.index_build_seconds += elapsed
+                return built
+            return self.pg.index()
+
+    def cltree(self) -> CLTree:
+        """The whole-graph CL-tree (all k-ĉores), built lazily once."""
+        with self._index_lock:
+            if self._cltree is None:
+                self._cltree = CLTree(self.pg.graph)
+            return self._cltree
+
+    def warm(self) -> float:
+        """Eagerly build the CP-tree; returns seconds spent building.
+
+        Idempotent — a warm explorer returns ~0 immediately.
+        """
+        start = time.perf_counter()
+        self.index()
+        return time.perf_counter() - start
+
+    @property
+    def index_ready(self) -> bool:
+        return self.pg.has_index()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def _resolve(self, spec: QuerySpec) -> Tuple[Vertex, int, str, object]:
+        k = self.default_k if spec.k is None else spec.k
+        method = _normalize_method(spec.method or self.default_method)
+        cohesion = spec.cohesion if spec.cohesion is not None else self.default_cohesion
+        return spec.q, k, method, _cohesion_token(cohesion)
+
+    def _run(self, q: Vertex, k: int, method: str, cohesion_token: object) -> PCSResult:
+        if q not in self.pg:
+            raise VertexNotFoundError(q)
+        index = None if method in _INDEX_FREE_METHODS else self.index()
+        cohesion = _cohesion_from_token(cohesion_token)
+        result = pcs(self.pg, q, k, method=method, index=index, cohesion=cohesion)
+        with self._counters.lock:
+            self._counters.queries_served += 1
+        return result
+
+    def explore(
+        self,
+        q: Vertex,
+        k: Optional[int] = None,
+        method: Optional[str] = None,
+        cohesion: Optional[object] = None,
+    ) -> PCSResult:
+        """One PCS query through the cache and the shared index."""
+        spec = QuerySpec(
+            q=q, k=self.default_k if k is None else k, method=method, cohesion=cohesion
+        )
+        key = self._resolve(spec)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._run(*key)
+        self._cache.put(key, result)
+        return result
+
+    def explore_many(
+        self,
+        specs: Iterable[Union[QuerySpec, Vertex, Tuple, dict]],
+        workers: Optional[int] = None,
+    ) -> List[PCSResult]:
+        """Serve a batch of queries; results align with the input order.
+
+        Identical specs inside the batch are deduplicated (executed once);
+        specs already cached are served from cache. Cache misses run either
+        sequentially or on a thread pool of ``workers`` threads
+        (``workers=None`` falls back to the explorer's ``max_workers``).
+        Results are deterministic regardless of thread scheduling: the same
+        batch always yields the same results in the same order.
+        """
+        batch = [QuerySpec.coerce(item) for item in specs]
+        keys = [self._resolve(spec) for spec in batch]
+        with self._counters.lock:
+            self._counters.batches += 1
+
+        # One cache lookup per *incoming* spec so hit/miss accounting matches
+        # the caller's view of the batch; duplicate misses execute once.
+        resolved: dict = {}
+        pending: List[Tuple] = []
+        queued = set()
+        for key in keys:
+            hit = self._cache.get(key)
+            if hit is not None:
+                resolved[key] = hit
+            elif key not in resolved and key not in queued:
+                pending.append(key)
+                queued.add(key)
+
+        width = self.max_workers if workers is None else workers
+        if width is not None and width > 1 and len(pending) > 1:
+            self.index()  # build once up front, not racing inside the pool
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                outcomes = list(pool.map(lambda key: self._run(*key), pending))
+            for key, result in zip(pending, outcomes):
+                resolved[key] = result
+        else:
+            for key in pending:
+                resolved[key] = self._run(*key)
+        for key in pending:
+            self._cache.put(key, resolved[key])
+        return [resolved[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        with self._counters.lock:
+            return EngineStats(
+                queries_served=self._counters.queries_served,
+                cache=self._cache.stats(),
+                index_builds=self._counters.index_builds,
+                index_build_seconds=self._counters.index_build_seconds,
+                batches=self._counters.batches,
+            )
+
+    def clear_cache(self) -> None:
+        """Drop cached results (the index is kept — it never goes stale
+        while the graph is unmutated)."""
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        self._cache.reset_stats()
+        with self._counters.lock:
+            self._counters.queries_served = 0
+            self._counters.index_builds = 0
+            self._counters.index_build_seconds = 0.0
+            self._counters.batches = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"CommunityExplorer({self.pg!r}, served={s.queries_served}, "
+            f"hit_rate={s.cache_hit_rate:.2f}, index_ready={self.index_ready})"
+        )

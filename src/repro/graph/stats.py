@@ -8,7 +8,7 @@ topologies: degree distributions, clustering, core spectra.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, Tuple
 
 from repro.graph.core import core_numbers
 from repro.graph.graph import Graph

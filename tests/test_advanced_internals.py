@@ -21,7 +21,7 @@ from repro.core import (
 from repro.datasets import fig1_profiled_graph
 from repro.datasets.taxonomies import synthetic_taxonomy
 from repro.errors import InvalidInputError
-from repro.graph import Graph, gnp_graph
+from repro.graph import Graph
 from repro.ptree.taxonomy import ROOT
 
 FINDERS = (find_initial_cut_incre, find_initial_cut_decre, find_initial_cut_path)
@@ -106,7 +106,6 @@ class TestFinderContracts:
     @pytest.mark.parametrize("finder", FINDERS)
     def test_finders_share_downstream_answer(self, finder):
         pg = themed_instance(42)
-        reference = None
         oracle = FeasibilityOracle(pg, 0, 3, index=pg.index())
         cut = finder(oracle)
         results = expand_ptree(oracle, cut) if cut else {}

@@ -9,8 +9,6 @@ from repro.bench import (
     Timing,
     geometric_speedup,
     make_workload,
-    save_result,
-    save_tables,
     time_call,
 )
 from repro.datasets import fig1_profiled_graph
@@ -68,6 +66,12 @@ class TestPersistence:
 
 
 class TestTiming:
+    def test_time_call_smoke_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        assert time_call(lambda: None).repeats == 1
+        monkeypatch.delenv("REPRO_BENCH_SMOKE")
+        assert time_call(lambda: None).repeats == 3
+
     def test_time_call(self):
         timing = time_call(lambda: sum(range(1000)), repeats=3)
         assert isinstance(timing, Timing)

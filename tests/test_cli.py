@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -52,6 +54,81 @@ class TestExport:
         assert "2 communities" in out
 
 
+class TestBatch:
+    def _write_queries(self, tmp_path, text):
+        path = tmp_path / "queries.txt"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_batch_stdout_json(self, capsys, tmp_path):
+        queries = self._write_queries(tmp_path, "D\nE\nD\n")
+        assert main(
+            ["batch", "--dataset", "fig1", "--queries", queries, "--k", "2"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_queries"] == 3
+        assert [r["query"] for r in payload["results"]] == ["D", "E", "D"]
+        assert payload["results"][0]["num_communities"] == 2
+        # The duplicate D is deduplicated inside the batch.
+        assert payload["engine"]["queries_served"] == 2
+        assert payload["engine"]["index_builds"] == 1
+
+    def test_batch_mixed_spec_file(self, capsys, tmp_path):
+        queries = self._write_queries(
+            tmp_path, 'D\n{"q": "E", "k": 1, "method": "basic"}\n'
+        )
+        assert main(
+            ["batch", "--dataset", "fig1", "--queries", queries, "--k", "2"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][1]["k"] == 1
+        assert payload["results"][1]["method"] == "basic"
+
+    def test_batch_to_file(self, capsys, tmp_path):
+        queries = self._write_queries(tmp_path, "D\n")
+        out = tmp_path / "results.json"
+        assert main(
+            [
+                "batch", "--dataset", "fig1", "--queries", queries,
+                "--k", "2", "--out", str(out),
+            ]
+        ) == 0
+        assert json.loads(out.read_text())["num_queries"] == 1
+
+    def test_batch_empty_file_fails(self, capsys, tmp_path):
+        queries = self._write_queries(tmp_path, "# nothing here\n")
+        assert main(
+            ["batch", "--dataset", "fig1", "--queries", queries]
+        ) == 1
+
+    def test_batch_with_workers(self, capsys, tmp_path):
+        queries = self._write_queries(tmp_path, "D\nE\nA\n")
+        assert main(
+            [
+                "batch", "--dataset", "fig1", "--queries", queries,
+                "--k", "2", "--workers", "2",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["query"] for r in payload["results"]] == ["D", "E", "A"]
+
+
+class TestBenchEngine:
+    def test_bench_engine_fig1(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(
+            [
+                "bench-engine", "--dataset", "fig1", "--k", "2",
+                "--num-queries", "3", "--repeat", "2", "--out", str(out),
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "speedup (cold/warm)" in text
+        payload = json.loads(out.read_text())
+        assert payload["throughput"]["queries"] == 6
+        assert payload["throughput"]["cache_hits"] > 0
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -60,3 +137,7 @@ class TestParser:
     def test_rejects_unknown_method(self):
         with pytest.raises(SystemExit):
             main(["query", "--method", "warp"])
+
+    def test_batch_requires_query_file(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--dataset", "fig1"])

@@ -1,7 +1,5 @@
 """Tests for the closure-jumping ``closed`` method (library extension)."""
 
-import random
-
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

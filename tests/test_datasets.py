@@ -13,7 +13,6 @@ from repro.datasets import (
     dataset_taxonomy,
     ego_names,
     fig1_profiled_graph,
-    fig1_taxonomy,
     load_dataset,
     load_ego_network,
     load_profiled_graph,

@@ -3,11 +3,9 @@
 import pytest
 
 from repro.core import (
-    ProfiledGraph,
     coverage,
     detect_communities,
     directed_pcs,
-    pcs,
 )
 from repro.datasets import fig1_profiled_graph, fig1_taxonomy
 from repro.errors import InvalidInputError, VertexNotFoundError

@@ -5,7 +5,7 @@ import random
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dynamic import DynamicCoreIndex
-from repro.graph import Graph, core_numbers, gnp_graph
+from repro.graph import core_numbers, gnp_graph
 
 
 @st.composite

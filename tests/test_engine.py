@@ -1,0 +1,350 @@
+"""Tests for the batched query engine (repro.engine)."""
+
+import json
+
+import pytest
+
+from repro.core import as_vertex_subtree_map, pcs
+from repro.core.search import ALL_METHODS
+from repro.datasets import fig1_profiled_graph, simple_profiled_graph
+from repro.datasets.taxonomies import synthetic_taxonomy
+from repro.engine import (
+    CommunityExplorer,
+    LRUCache,
+    QuerySpec,
+    coerce_spec_vertices,
+    load_query_file,
+    parse_query_text,
+    result_to_dict,
+)
+from repro.errors import InvalidInputError, VertexNotFoundError
+
+
+@pytest.fixture()
+def fig1():
+    return fig1_profiled_graph()
+
+
+@pytest.fixture()
+def explorer(fig1):
+    return CommunityExplorer(fig1, default_k=2)
+
+
+def synthetic_instance(seed=3, n=24):
+    tax = synthetic_taxonomy(40, seed=seed)
+    return simple_profiled_graph(tax, n, seed=seed, edge_probability=0.35)
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_disabled_cache(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_unbounded(self):
+        cache = LRUCache(maxsize=None)
+        for i in range(3000):
+            cache.put(i, i)
+        assert len(cache) == 3000 and cache.stats().evictions == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=-1)
+
+    def test_peek_leaves_counters_alone(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        assert cache.peek("a") == 1 and cache.peek("b") is None
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+
+class TestExplorerCacheAccounting:
+    def test_repeat_query_hits_cache(self, explorer):
+        first = explorer.explore("D")
+        second = explorer.explore("D")
+        assert first is second  # cached object, not a recomputation
+        stats = explorer.stats()
+        assert stats.queries_served == 1
+        assert stats.cache.hits == 1 and stats.cache.misses == 1
+
+    def test_distinct_parameters_miss(self, explorer):
+        explorer.explore("D", k=2)
+        explorer.explore("D", k=1)
+        explorer.explore("D", k=2, method="incre")
+        stats = explorer.stats()
+        assert stats.queries_served == 3
+        assert stats.cache.hits == 0 and stats.cache.misses == 3
+
+    def test_default_and_explicit_method_share_entry(self, explorer):
+        explorer.explore("D")  # default adv-P
+        explorer.explore("D", method="adv-P")
+        explorer.explore("D", method="ADV-p")  # case-insensitive
+        stats = explorer.stats()
+        assert stats.queries_served == 1 and stats.cache.hits == 2
+
+    def test_index_built_once(self, explorer):
+        for q in ("D", "E", "A"):
+            explorer.explore(q)
+        stats = explorer.stats()
+        assert stats.index_builds == 1
+        assert explorer.index_ready
+
+    def test_warm_is_idempotent(self, explorer):
+        explorer.warm()
+        explorer.warm()
+        assert explorer.stats().index_builds == 1
+
+    def test_cltree_built_once_and_consistent(self, explorer):
+        from repro.graph import connected_k_core
+
+        cltree = explorer.cltree()
+        assert explorer.cltree() is cltree  # lazy build, permanent reuse
+        # The k-ĉore it serves matches a direct connected-core computation.
+        expected = connected_k_core(explorer.pg.graph, "D", 2)
+        assert cltree.kcore_vertices("D", 2) == frozenset(expected)
+
+    def test_eviction_forces_recompute(self, fig1):
+        ex = CommunityExplorer(fig1, cache_size=1, default_k=2)
+        ex.explore("D")
+        ex.explore("E")  # evicts D
+        ex.explore("D")  # recomputed, evicts E
+        stats = ex.stats()
+        assert stats.queries_served == 3 and stats.cache.evictions == 2
+
+    def test_clear_cache_keeps_index(self, explorer):
+        explorer.explore("D")
+        explorer.clear_cache()
+        explorer.explore("D")
+        stats = explorer.stats()
+        assert stats.queries_served == 2 and stats.index_builds == 1
+
+    def test_batch_accounting(self, explorer):
+        explorer.explore_many([("D", 2), ("D", 2), ("E", 2)])
+        stats = explorer.stats()
+        # Three lookups; D executes once (in-batch dedup), E once.
+        assert stats.queries_served == 2
+        assert stats.cache.misses == 3 and stats.batches == 1
+        explorer.explore_many([("D", 2), ("E", 2)])
+        assert explorer.stats().cache.hits == 2
+
+    def test_reset_stats(self, explorer):
+        explorer.explore("D")
+        explorer.reset_stats()
+        stats = explorer.stats()
+        assert stats.queries_served == 0 and stats.cache.lookups == 0
+
+    def test_unknown_vertex_raises(self, explorer):
+        with pytest.raises(VertexNotFoundError):
+            explorer.explore("nope")
+
+    def test_unknown_method_raises(self, explorer):
+        with pytest.raises(InvalidInputError):
+            explorer.explore("D", method="warp")
+
+
+class TestBatchEqualsPerQuery:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_all_methods_match_direct_pcs(self, method):
+        pg = synthetic_instance()
+        queries = sorted(pg.vertices())[:6]
+        expected = [as_vertex_subtree_map(pcs(pg, q, 2, method=method)) for q in queries]
+        ex = CommunityExplorer(pg, default_k=2, default_method=method)
+        batch = ex.explore_many(queries)
+        assert [as_vertex_subtree_map(r) for r in batch] == expected
+
+    def test_engine_aware_pcs_dispatch(self, fig1):
+        ex = CommunityExplorer(fig1, default_k=2)
+        direct = pcs(fig1, "D", 2)
+        via_engine = pcs(fig1, "D", 2, engine=ex)
+        assert as_vertex_subtree_map(via_engine) == as_vertex_subtree_map(direct)
+        assert ex.stats().queries_served == 1
+        # Second dispatch is served from the engine's cache.
+        assert pcs(fig1, "D", 2, engine=ex) is via_engine
+
+    def test_engine_pg_mismatch_rejected(self, fig1):
+        ex = CommunityExplorer(fig1)
+        other = synthetic_instance()
+        with pytest.raises(InvalidInputError):
+            pcs(other, 0, 1, engine=ex)
+
+
+class TestCohesionHandling:
+    def test_registered_name_and_none_share_cache_entry(self, fig1):
+        ex = CommunityExplorer(fig1, default_k=2)
+        ex.explore("D")
+        ex.explore("D", cohesion="k-core")
+        stats = ex.stats()
+        assert stats.queries_served == 1 and stats.cache.hits == 1
+
+    def test_named_alternative_model(self, fig1):
+        ex = CommunityExplorer(fig1, default_k=2)
+        direct = pcs(fig1, "D", 2, cohesion="k-truss")
+        via = ex.explore("D", cohesion="k-truss")
+        assert as_vertex_subtree_map(via) == as_vertex_subtree_map(direct)
+
+    def test_unregistered_instance_is_used_verbatim(self, fig1):
+        # A parametrized model outside the registry must run with exactly
+        # the supplied object — the regression was a registry re-resolve.
+        from repro.core import FractionalKCoreCohesion
+
+        model = FractionalKCoreCohesion(0.8)
+        direct = pcs(fig1, "D", 2, cohesion=model)
+        ex = CommunityExplorer(fig1, default_k=2)
+        via_engine = pcs(fig1, "D", 2, cohesion=model, engine=ex)
+        assert as_vertex_subtree_map(via_engine) == as_vertex_subtree_map(direct)
+
+    def test_distinct_instances_do_not_share_cache(self, fig1):
+        from repro.core import FractionalKCoreCohesion
+
+        ex = CommunityExplorer(fig1, default_k=2)
+        ex.explore("D", cohesion=FractionalKCoreCohesion(0.5))
+        ex.explore("D", cohesion=FractionalKCoreCohesion(1.0))
+        assert ex.stats().queries_served == 2  # identity-keyed, no collision
+
+
+class TestThreadPoolFanOut:
+    def test_threaded_matches_sequential(self):
+        pg = synthetic_instance(seed=11)
+        queries = sorted(pg.vertices())[:8]
+        sequential = CommunityExplorer(pg, default_k=2).explore_many(queries)
+        pg2 = synthetic_instance(seed=11)
+        threaded = CommunityExplorer(pg2, default_k=2).explore_many(queries, workers=4)
+        assert [as_vertex_subtree_map(r) for r in threaded] == [
+            as_vertex_subtree_map(r) for r in sequential
+        ]
+
+    def test_threaded_deterministic_across_runs(self):
+        pg = synthetic_instance(seed=5)
+        queries = sorted(pg.vertices())[:8]
+        runs = []
+        for _ in range(3):
+            ex = CommunityExplorer(pg, default_k=2)
+            ex.clear_cache()
+            runs.append(
+                [as_vertex_subtree_map(r) for r in ex.explore_many(queries, workers=4)]
+            )
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_threaded_results_align_with_input_order(self, fig1):
+        ex = CommunityExplorer(fig1, default_k=2, max_workers=4)
+        specs = [("D", 2), ("E", 2), ("D", 1), ("A", 2)]
+        results = ex.explore_many(specs)
+        assert [(r.query, r.k) for r in results] == specs
+
+    def test_threaded_builds_index_once(self):
+        pg = synthetic_instance(seed=9)
+        ex = CommunityExplorer(pg, default_k=2)
+        ex.explore_many(sorted(pg.vertices())[:6], workers=4)
+        assert ex.stats().index_builds == 1
+
+
+class TestQuerySpec:
+    def test_coerce_forms(self):
+        assert QuerySpec.coerce("D") == QuerySpec(q="D")
+        assert QuerySpec.coerce(("D", 3)) == QuerySpec(q="D", k=3)
+        assert QuerySpec.coerce({"q": "D", "method": "incre"}) == QuerySpec(
+            q="D", method="incre"
+        )
+        spec = QuerySpec("D", 2)
+        assert QuerySpec.coerce(spec) is spec
+
+    def test_coerce_rejects_bad_shapes(self):
+        with pytest.raises(InvalidInputError):
+            QuerySpec.coerce({"vertex": "D"})
+        with pytest.raises(InvalidInputError):
+            QuerySpec.coerce(("D", 2, "adv-P", "k-core", "extra"))
+
+
+class TestBatchFile:
+    def test_plain_text(self):
+        specs = parse_query_text("# comment\nD\nE\n", default_k=2)
+        assert specs == [QuerySpec("D", 2), QuerySpec("E", 2)]
+
+    def test_json_list(self):
+        specs = parse_query_text('["D", ["E", 3], {"q": "A", "method": "incre"}]', default_k=2)
+        assert specs[0] == QuerySpec("D", 2)
+        assert specs[1] == QuerySpec("E", 3)
+        assert specs[2].method == "incre" and specs[2].k == 2
+
+    def test_json_lines(self):
+        specs = parse_query_text('{"q": "D", "k": 4}\n{"q": "E"}\n', default_k=2)
+        assert specs == [QuerySpec("D", 4), QuerySpec("E", 2)]
+
+    def test_json_lines_starting_with_array_item(self):
+        # A leading [q, k] line must not be mistaken for a whole-file list.
+        specs = parse_query_text('["E", 3]\n{"q": "D"}\n', default_k=2)
+        assert specs == [QuerySpec("E", 3), QuerySpec("D", 2)]
+
+    def test_single_array_file_is_whole_file_list(self):
+        # Documented precedence: one parseable JSON document == list form,
+        # so this is two queries, not one (q, k) pair.
+        specs = parse_query_text('["E", 3]', default_k=2)
+        assert specs == [QuerySpec("E", 2), QuerySpec(3, 2)]
+
+    def test_invalid_json_reports_line(self):
+        with pytest.raises(InvalidInputError, match="line 2"):
+            parse_query_text('D\n{"q": broken}\n')
+
+    def test_load_query_file(self, tmp_path):
+        path = tmp_path / "q.txt"
+        path.write_text("D\n\n# skip\nE\n", encoding="utf-8")
+        assert [s.q for s in load_query_file(path)] == ["D", "E"]
+
+    def test_vertex_coercion_to_int(self):
+        pg = synthetic_instance()
+        specs = coerce_spec_vertices(pg, [QuerySpec("0", 2), QuerySpec("zzz", 2)])
+        assert specs[0].q == 0  # re-typed: graph uses int vertices
+        assert specs[1].q == "zzz"  # untouched
+
+    def test_result_to_dict_roundtrips_json(self, fig1):
+        result = pcs(fig1, "D", 2)
+        payload = result_to_dict(result)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["num_communities"] == 2
+        sizes = sorted(c["size"] for c in payload["communities"])
+        assert sizes == [3, 3]
+
+
+class TestThroughputWorkload:
+    def test_replay_hits_cache(self, fig1):
+        from repro.bench import Workload, run_throughput
+
+        workload = Workload(dataset="fig1", k=2, queries=("D", "E"))
+        ex = CommunityExplorer(fig1)
+        report = run_throughput(ex, workload, repeat_factor=3)
+        assert report.queries == 6 and report.executed == 2
+        assert report.cache_hits == 4 and report.cache_misses == 2
+        assert report.cache_hit_rate == pytest.approx(4 / 6)
+        assert report.queries_per_second > 0
+        round_trip = report.to_dict()
+        assert round_trip["executed"] == 2
+
+    def test_repeat_factor_validated(self, fig1):
+        from repro.bench import Workload, run_throughput
+
+        with pytest.raises(ValueError):
+            run_throughput(
+                CommunityExplorer(fig1),
+                Workload(dataset="fig1", k=2, queries=("D",)),
+                repeat_factor=0,
+            )

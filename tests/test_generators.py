@@ -1,7 +1,5 @@
 """Tests for the random graph generators."""
 
-import random
-
 import pytest
 
 from repro.errors import InvalidInputError

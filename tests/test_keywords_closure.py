@@ -10,7 +10,7 @@ from repro.core.keywords import (
     keyword_communities,
     maximal_feasible_keyword_sets,
 )
-from repro.graph import Graph, gnp_graph, k_core_within
+from repro.graph import gnp_graph, k_core_within
 
 
 def fs(*items):

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import InvalidInputError
 from repro.ptree import (
-    PTree,
     ROOT,
     Taxonomy,
     children_of,

@@ -8,7 +8,6 @@ from repro.graph import Graph, connected_k_core, core_numbers, k_core_vertices
 from repro.index import CLTree
 from repro.ptree import (
     PTree,
-    ROOT,
     Taxonomy,
     count_subtrees,
     enumerate_subtrees,

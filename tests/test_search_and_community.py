@@ -6,14 +6,12 @@ from repro.core import (
     ALL_METHODS,
     FeasibilityOracle,
     PCS_METHODS,
-    PCSResult,
     ProfiledCommunity,
     TraversalOutcome,
     apriori_traverse,
     pcs,
 )
 from repro.datasets import fig1_profiled_graph
-from repro.ptree import PTree
 from repro.ptree.taxonomy import ROOT
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core import (
     FractionalKCoreCohesion,
     METRIC_VARIANTS,
-    ProfiledGraph,
     degree_relaxed_pcs,
     keyword_communities,
     maximal_feasible_keyword_sets,
@@ -17,7 +16,7 @@ from repro.core import (
     variant_common_subtree,
     variant_similarity,
 )
-from repro.datasets import fig1_profiled_graph, fig1_taxonomy
+from repro.datasets import fig1_profiled_graph
 from repro.errors import InvalidInputError
 from repro.graph import Graph, k_core_within
 
