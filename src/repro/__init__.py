@@ -15,7 +15,9 @@ The package implements Profiled Community Search (PCS) end to end:
   paper's datasets, plus serialisation;
 * :mod:`repro.bench` — benchmark harness utilities;
 * :mod:`repro.engine` — the batched query engine (:class:`CommunityExplorer`)
-  with index reuse, an LRU result cache and thread-pool fan-out.
+  with index reuse, a version-checked LRU result cache, thread-pool fan-out
+  and mutation-safe serving (:class:`GraphUpdate` batches with incremental
+  index maintenance).
 
 Quickstart::
 
@@ -44,10 +46,14 @@ def __getattr__(name: str):
             "ProfiledCommunity": ProfiledCommunity,
             "ProfiledGraph": ProfiledGraph,
         }[name]
-    if name in ("CommunityExplorer", "QuerySpec"):
-        from repro.engine import CommunityExplorer, QuerySpec
+    if name in ("CommunityExplorer", "QuerySpec", "GraphUpdate"):
+        from repro.engine import CommunityExplorer, GraphUpdate, QuerySpec
 
-        return {"CommunityExplorer": CommunityExplorer, "QuerySpec": QuerySpec}[name]
+        return {
+            "CommunityExplorer": CommunityExplorer,
+            "QuerySpec": QuerySpec,
+            "GraphUpdate": GraphUpdate,
+        }[name]
     if name == "datasets":
         import repro.datasets as datasets
 

@@ -8,15 +8,17 @@ default — pure Python — with identical sampling semantics).
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, List, Optional, Sequence
 
 from repro.core.profiled_graph import ProfiledGraph
 from repro.graph.generators import random_queries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.explorer import CommunityExplorer
+    from repro.engine.updates import GraphUpdate
 
 Vertex = Hashable
 
@@ -183,6 +185,186 @@ class ColdWarmReport:
             "speedup": self.speedup,
             "throughput": self.throughput.to_dict(),
         }
+
+
+# ----------------------------------------------------------------------
+# update throughput (mutation-side metrics: edits/sec, maintenance cost)
+# ----------------------------------------------------------------------
+def make_edit_stream(
+    pg: ProfiledGraph,
+    num_edits: int,
+    seed: int = 7,
+    profile_fraction: float = 0.2,
+) -> List["GraphUpdate"]:
+    """A reproducible stream of graph edits for ``pg``-shaped graphs.
+
+    Edge edits are random toggles (remove when present, insert when
+    absent), simulated against a scratch copy so the emitted operations
+    are concrete and can be replayed identically by several measurement
+    modes. ``profile_fraction`` of the edits are profile replacements that
+    reuse another vertex's (already ancestor-closed) label set.
+    """
+    rng = random.Random(seed)
+    scratch = pg.graph.copy()
+    vertices = sorted(scratch.vertex_set(), key=repr)
+    if len(vertices) < 2:
+        raise ValueError("edit streams need at least two vertices")
+    from repro.engine.updates import GraphUpdate
+
+    ops: List[GraphUpdate] = []
+    while len(ops) < num_edits:
+        if profile_fraction and rng.random() < profile_fraction:
+            target = rng.choice(vertices)
+            donor = rng.choice(vertices)
+            ops.append(
+                GraphUpdate(op="set_profile", u=target, labels=sorted(pg.labels(donor)))
+            )
+            continue
+        u, v = rng.choice(vertices), rng.choice(vertices)
+        if u == v:
+            continue
+        if scratch.has_edge(u, v):
+            scratch.remove_edge(u, v)
+            ops.append(GraphUpdate(op="remove_edge", u=u, v=v))
+        else:
+            scratch.add_edge(u, v)
+            ops.append(GraphUpdate(op="add_edge", u=u, v=v))
+    return ops
+
+
+@dataclass(frozen=True)
+class UpdateThroughputReport:
+    """Incremental index maintenance vs the rebuild-per-edit strawman.
+
+    ``rebuild_ms_per_edit`` times a full ``pg.index(rebuild=True)`` after
+    each edit (what any pre-mutation-API pipeline had to do to stay
+    correct); ``incremental_ms_per_edit`` times the engine's
+    ``apply_updates`` path, which repairs only the per-label CL-trees each
+    edit touched. ``consistent`` records that the incrementally maintained
+    index ended structurally identical to a fresh build.
+    """
+
+    dataset: str
+    num_edits: int
+    rebuild_edits: int
+    rebuild_ms_per_edit: float
+    incremental_ms_per_edit: float
+    maintenance_ms_per_edit: float
+    updates_applied: int
+    invalidations: int
+    consistent: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.incremental_ms_per_edit <= 0:
+            return float("inf")
+        return self.rebuild_ms_per_edit / self.incremental_ms_per_edit
+
+    @property
+    def edits_per_second(self) -> float:
+        if self.incremental_ms_per_edit <= 0:
+            return float("inf")
+        return 1000.0 / self.incremental_ms_per_edit
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "num_edits": self.num_edits,
+            "rebuild_edits": self.rebuild_edits,
+            "rebuild_ms_per_edit": self.rebuild_ms_per_edit,
+            "incremental_ms_per_edit": self.incremental_ms_per_edit,
+            "maintenance_ms_per_edit": self.maintenance_ms_per_edit,
+            "updates_applied": self.updates_applied,
+            "invalidations": self.invalidations,
+            "speedup": self.speedup,
+            "edits_per_second": self.edits_per_second,
+            "consistent": self.consistent,
+        }
+
+
+def _indexes_equivalent(pg: ProfiledGraph) -> bool:
+    """Spot-check that the maintained CP-tree matches a fresh build."""
+    from repro.index.cptree import CPTree
+
+    maintained = pg.index()
+    fresh = CPTree(pg.graph, pg.all_labels(), pg.taxonomy, validate=False)
+    if set(maintained._nodes) != set(fresh._nodes):
+        return False
+    if maintained._head_map != fresh._head_map:
+        return False
+    for label, node in maintained._nodes.items():
+        other = fresh._nodes[label]
+        if node.vertices != other.vertices:
+            return False
+        for q in list(node.vertices)[:3]:
+            for k in (1, 2, 3):
+                if node.cltree.kcore_vertices(q, k) != other.cltree.kcore_vertices(q, k):
+                    return False
+    return True
+
+
+def measure_update_throughput(
+    pg_factory: Callable[[], ProfiledGraph],
+    dataset: str,
+    edits: Sequence["GraphUpdate"],
+    rebuild_cap: int = 3,
+    query: Optional[Vertex] = None,
+    k: int = DEFAULT_K,
+) -> UpdateThroughputReport:
+    """The canonical incremental-vs-rebuild update measurement.
+
+    Both modes replay the same concrete edit stream on identically
+    generated graphs (``pg_factory`` must return a fresh instance per
+    call). The rebuild mode times up to ``rebuild_cap`` edits, each
+    followed by a full index rebuild (rebuilds dominate, a few suffice).
+    The incremental mode routes every edit through a warm
+    :class:`~repro.engine.explorer.CommunityExplorer` one at a time —
+    the worst case for the journal, which batching only improves. When
+    ``query`` is given, it is re-explored after every edit so cache
+    invalidation is exercised alongside maintenance.
+    """
+    from repro.engine.explorer import CommunityExplorer
+    from repro.engine.updates import apply_update
+
+    edits = list(edits)
+    if not edits:
+        raise ValueError("need at least one edit")
+
+    # --- rebuild-per-edit strawman.
+    pg_cold = pg_factory()
+    pg_cold.index()
+    cold_edits = edits[: max(1, rebuild_cap)]
+    start = time.perf_counter()
+    for op in cold_edits:
+        apply_update(pg_cold, op)
+        pg_cold.index(rebuild=True)
+    rebuild_seconds = time.perf_counter() - start
+
+    # --- incremental maintenance through the engine.
+    pg_inc = pg_factory()
+    explorer = CommunityExplorer(pg_inc)
+    explorer.warm()
+    if query is not None:
+        explorer.explore(query, k=k)
+    start = time.perf_counter()
+    for op in edits:
+        explorer.apply_updates([op])
+        if query is not None and query in pg_inc:
+            explorer.explore(query, k=k)
+    incremental_seconds = time.perf_counter() - start
+
+    stats = explorer.stats()
+    return UpdateThroughputReport(
+        dataset=dataset,
+        num_edits=len(edits),
+        rebuild_edits=len(cold_edits),
+        rebuild_ms_per_edit=rebuild_seconds / len(cold_edits) * 1000.0,
+        incremental_ms_per_edit=incremental_seconds / len(edits) * 1000.0,
+        maintenance_ms_per_edit=stats.maintenance_seconds / len(edits) * 1000.0,
+        updates_applied=stats.updates_applied,
+        invalidations=stats.invalidations,
+        consistent=_indexes_equivalent(pg_inc),
+    )
 
 
 def measure_cold_warm(

@@ -22,6 +22,11 @@ Serve a whole query file through the batched engine (JSON on stdout)::
 
     python -m repro batch --dataset fig1 --queries queries.txt --k 2
 
+Apply a graph-edit file through the mutation pipeline (incremental index
+maintenance + cache invalidation), then optionally re-query::
+
+    python -m repro update --dataset fig1 --edits edits.txt --query D --k 2
+
 Measure cold- vs warm-index engine throughput::
 
     python -m repro bench-engine --dataset acmdl --num-queries 10 --repeat 3
@@ -46,7 +51,9 @@ from repro.datasets import (
 from repro.engine import (
     CommunityExplorer,
     coerce_spec_vertices,
+    coerce_update_vertices,
     load_query_file,
+    load_update_file,
     result_to_dict,
 )
 from repro.graph.generators import random_queries
@@ -141,6 +148,63 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_update(args: argparse.Namespace) -> int:
+    pg = _load(args)
+    updates = load_update_file(args.edits)
+    if not updates:
+        print(f"no edits found in {args.edits}", file=sys.stderr)
+        return 1
+    updates = coerce_update_vertices(pg, updates)
+    explorer = CommunityExplorer(pg)
+    if not args.no_warm:
+        explorer.warm()  # exercise the incremental-repair path, not a rebuild
+        if args.query is not None:
+            # Pre-query so the stats demonstrate cache invalidation. Skipped
+            # under --no-warm: an indexed pre-query would eagerly build the
+            # full index, defeating the flag.
+            explorer.explore(
+                _coerce_vertex(pg, args.query), k=args.k, method=args.method
+            )
+    receipt = explorer.apply_updates(updates)
+    payload = {
+        "dataset": args.dataset,
+        "receipt": receipt.to_dict(),
+        "graph": {"vertices": pg.num_vertices, "edges": pg.num_edges},
+    }
+    if args.query is not None:
+        query = _coerce_vertex(pg, args.query)
+        if query in pg:
+            # The re-query is what detects (and counts) the stale entry.
+            result = explorer.explore(query, k=args.k, method=args.method)
+            payload["query"] = result_to_dict(result)
+        else:
+            payload["query"] = {"query": str(query), "error": "vertex removed"}
+    stats = explorer.stats()
+    payload["engine"] = {
+        "updates_applied": stats.updates_applied,
+        "maintenance_seconds": stats.maintenance_seconds,
+        "invalidations": stats.invalidations,
+        "index_builds": stats.index_builds,
+        "graph_version": pg.version,
+    }
+    print(f"dataset            : {args.dataset}")
+    print(f"edits applied      : {receipt.applied}/{receipt.requested} "
+          f"(graph now v{receipt.version})")
+    print(f"labels repaired    : {receipt.repaired_labels}")
+    print(f"maintenance        : {receipt.seconds * 1000:.2f} ms")
+    print(f"cache invalidations: {stats.invalidations}")
+    print(f"graph              : n={pg.num_vertices}, m={pg.num_edges}")
+    if "query" in payload and "error" not in payload["query"]:
+        print(f"\nre-query {args.query!r}: "
+              f"{payload['query']['num_communities']} communities")
+    if args.out:
+        text = json.dumps(payload, indent=2)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_bench_engine(args: argparse.Namespace) -> int:
     from repro.bench import make_workload, measure_cold_warm
 
@@ -220,6 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--workers", type=int, default=None, help="thread-pool width")
     b.add_argument("--out", help="write JSON here instead of stdout")
     b.set_defaults(func=cmd_batch)
+
+    u = sub.add_parser("update", help="apply a graph-edit file through the engine")
+    add_dataset_args(u)
+    u.add_argument("--edits", required=True,
+                   help="edit file (text or JSONL; see repro.engine.updates)")
+    u.add_argument("--query", help="vertex to re-query after the edits")
+    u.add_argument("--k", type=int, default=6, help="k for --query (default 6)")
+    u.add_argument("--method", default="adv-P", choices=ALL_METHODS)
+    u.add_argument("--no-warm", action="store_true",
+                   help="skip the eager index build (edits first, index built "
+                        "lazily; also skips the pre-edit --query pass)")
+    u.add_argument("--out", help="write a JSON report here")
+    u.set_defaults(func=cmd_update)
 
     be = sub.add_parser("bench-engine", help="cold vs warm engine throughput")
     add_dataset_args(be)

@@ -6,17 +6,30 @@ anchored in one taxonomy (the GP-tree). It owns the lazily built CP-tree
 index and provides the sampling operations the scalability experiments need
 (Fig. 13 / Fig. 14 e–p): vertex sampling, per-vertex P-tree sampling and
 GP-tree restriction.
+
+Mutation is first-class: :meth:`ProfiledGraph.add_edge`,
+:meth:`~ProfiledGraph.remove_edge`, :meth:`~ProfiledGraph.add_vertex`,
+:meth:`~ProfiledGraph.remove_vertex` and :meth:`~ProfiledGraph.set_profile`
+keep the topology, the label mapping and the P-tree cache consistent in one
+call, bump a monotonic :attr:`~ProfiledGraph.version` counter (the epoch
+that result caches key their staleness checks on), and journal the damage
+so :meth:`~ProfiledGraph.index` can repair the CP-tree incrementally —
+rebuilding only the per-label CL-trees an edit actually touched instead of
+the whole O(|P| · m) index. Mutating ``pg.graph`` directly bypasses all of
+this and is unsupported once an index or engine is attached.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterator, Mapping, Optional, Union
 
 from repro.errors import InvalidInputError, VertexNotFoundError
 from repro.graph.graph import Graph
 from repro.index.cptree import CPTree
+from repro.index.maintenance import UpdateJournal, repair_cptree
 from repro.ptree.ptree import PTree
 from repro.ptree.taxonomy import Taxonomy
 
@@ -70,7 +83,17 @@ class ProfiledGraph:
         Verify profile node ids against the taxonomy (default True).
     """
 
-    __slots__ = ("graph", "taxonomy", "_labels", "_index", "_ptree_cache")
+    __slots__ = (
+        "graph",
+        "taxonomy",
+        "_labels",
+        "_index",
+        "_ptree_cache",
+        "_version",
+        "_journal",
+        "_maintenance_seconds",
+        "_repairs",
+    )
 
     def __init__(
         self,
@@ -93,6 +116,10 @@ class ProfiledGraph:
         self._labels = labels
         self._index: Optional[CPTree] = None
         self._ptree_cache: Dict[Vertex, PTree] = {}
+        self._version = 0
+        self._journal = UpdateJournal()
+        self._maintenance_seconds = 0.0
+        self._repairs = 0
 
     def _coerce_profile(self, profile: object, validate: bool) -> NodeSet:
         if isinstance(profile, PTree):
@@ -129,7 +156,13 @@ class ProfiledGraph:
         return cached
 
     def all_labels(self) -> Mapping[Vertex, NodeSet]:
-        """The full vertex → label-set mapping (live view; do not mutate)."""
+        """The full vertex → label-set mapping (live view).
+
+        Do not mutate: writes through this view bypass versioning and the
+        index journal. Use :meth:`set_profile` and friends; if legacy code
+        must write here anyway, it must call :meth:`mark_index_stale`
+        afterwards so the next :meth:`index` access rebuilds.
+        """
         return self._labels
 
     def vertices(self) -> Iterator[Vertex]:
@@ -137,6 +170,144 @@ class ProfiledGraph:
 
     def __contains__(self, v: Vertex) -> bool:
         return v in self.graph
+
+    # ------------------------------------------------------------------
+    # mutation (versioned; keeps labels, P-tree cache and index journal
+    # consistent — the supported way to edit a profiled graph in place)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter: bumped once per effective edit.
+
+        Caches that hold results derived from this graph store the version
+        they were computed against and compare on lookup — an O(1) epoch
+        check replacing any eager purge.
+        """
+        return self._version
+
+    @property
+    def maintenance_seconds(self) -> float:
+        """Total time spent in incremental index repairs (not full builds)."""
+        return self._maintenance_seconds
+
+    @property
+    def repairs(self) -> int:
+        """Number of incremental index repairs performed so far."""
+        return self._repairs
+
+    @property
+    def pending_repair_labels(self) -> int:
+        """Dirty per-label CL-trees awaiting the next :meth:`index` call."""
+        return self._journal.num_dirty_labels
+
+    def _bump(self) -> None:
+        self._version += 1
+
+    def _journaling(self) -> bool:
+        # Journal only while an index exists; without one the next
+        # index() call builds from scratch anyway.
+        return self._index is not None
+
+    def add_vertex(self, v: Vertex, profile: object = (), validate: bool = True) -> bool:
+        """Add vertex ``v`` with an optional profile; False if it exists.
+
+        The profile accepts the same forms as the constructor: a P-tree,
+        label names, or node ids (closed over ancestors automatically).
+        """
+        if v in self.graph:
+            return False
+        closed = self._coerce_profile(profile, validate)
+        self.graph.add_vertex(v)
+        self._labels[v] = closed
+        if self._journaling():
+            self._journal.record_vertex_added(v, closed)
+        self._bump()
+        return True
+
+    def remove_vertex(self, v: Vertex) -> bool:
+        """Remove ``v``, its incident edges, its profile and cached P-tree.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If ``v`` is not in the graph.
+        """
+        if v not in self.graph:
+            raise VertexNotFoundError(v)
+        labels = self._labels.pop(v, frozenset())
+        self.graph.remove_vertex(v)
+        self._ptree_cache.pop(v, None)
+        if self._journaling():
+            # Removing v only perturbs the subgraphs of labels v carries:
+            # a lost edge {v, w} lies inside label t's subgraph only when
+            # both endpoints carry t, and t ∈ T(v) then.
+            self._journal.record_vertex_removed(v, labels)
+        self._bump()
+        return True
+
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Insert edge ``{u, v}``; unknown endpoints get empty profiles.
+
+        Returns False (and bumps nothing) when the edge already exists.
+        """
+        if self.graph.has_edge(u, v):
+            return False
+        if u == v:
+            raise InvalidInputError(f"self-loop on vertex {u!r} is not allowed")
+        empty: NodeSet = frozenset()
+        for w in (u, v):
+            if w not in self.graph:
+                self.graph.add_vertex(w)
+                self._labels[w] = empty
+                if self._journaling():
+                    self._journal.record_vertex_added(w, empty)
+        self.graph.add_edge(u, v)
+        if self._journaling():
+            self._journal.record_edge(self._labels[u], self._labels[v])
+        self._bump()
+        return True
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Remove edge ``{u, v}``; False (no version bump) if absent."""
+        if not self.graph.has_edge(u, v):
+            return False
+        self.graph.remove_edge(u, v)
+        if self._journaling():
+            self._journal.record_edge(self._labels[u], self._labels[v])
+        self._bump()
+        return True
+
+    def mark_index_stale(self) -> None:
+        """Force a full index rebuild on the next :meth:`index` access.
+
+        The escape hatch for changes the journal cannot express — wholesale
+        edits through the :meth:`all_labels` live view, or external
+        mutation of :attr:`graph`. Bumps the version so result caches
+        invalidate too.
+        """
+        self._journal.mark_all()
+        self._bump()
+
+    def set_profile(self, v: Vertex, profile: object, validate: bool = True) -> bool:
+        """Replace T(v); False (no version bump) when unchanged.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If ``v`` is not in the graph.
+        """
+        if v not in self.graph:
+            raise VertexNotFoundError(v)
+        new = self._coerce_profile(profile, validate)
+        old = self._labels[v]
+        if new == old:
+            return False
+        self._labels[v] = new
+        self._ptree_cache.pop(v, None)
+        if self._journaling():
+            self._journal.record_profile_change(v, old, new)
+        self._bump()
+        return True
 
     def vertices_with_subtree(self, nodes: NodeSet) -> FrozenSet[Vertex]:
         """All vertices whose P-tree contains the subtree ``nodes`` (naive scan).
@@ -186,9 +357,23 @@ class ProfiledGraph:
     # index
     # ------------------------------------------------------------------
     def index(self, rebuild: bool = False) -> CPTree:
-        """The CP-tree index, built on first use and cached."""
-        if self._index is None or rebuild:
+        """The CP-tree index, built on first use and kept fresh across edits.
+
+        Mutations made through the versioned API journal their damage;
+        this method repairs exactly the dirty per-label CL-trees before
+        returning (time charged to :attr:`maintenance_seconds`). Pass
+        ``rebuild=True`` to force a from-scratch build — the fallback for
+        changes the journal cannot express.
+        """
+        if self._index is None or rebuild or self._journal.full:
+            self._journal.clear()
             self._index = CPTree(self.graph, self._labels, self.taxonomy, validate=False)
+        elif self._journal:
+            start = time.perf_counter()
+            repair_cptree(self._index, self.graph, self._labels, self._journal)
+            self._maintenance_seconds += time.perf_counter() - start
+            self._repairs += 1
+            self._journal.clear()
         return self._index
 
     def has_index(self) -> bool:
@@ -199,9 +384,11 @@ class ProfiledGraph:
 
         Used by benchmarks that must charge index construction to a
         specific phase (e.g. the engine's warm-up) instead of inheriting
-        whatever a previous measurement left behind.
+        whatever a previous measurement left behind. Also discards any
+        journaled repair work — a fresh build subsumes it.
         """
         self._index = None
+        self._journal.clear()
 
     # ------------------------------------------------------------------
     # sampling (scalability experiments)

@@ -11,16 +11,30 @@ This module maintains a :class:`DynamicCoreIndex` alongside a graph:
 
 * **insert(u, v)** — core numbers can only *increase*, by at most 1, and
   only for vertices in the ``r = min(core(u), core(v))`` subcore component
-  around the edge. We collect that candidate region with a BFS restricted
-  to vertices of core exactly r reachable through vertices of core ≥ r,
-  then peel it with the k-core condition at r + 1 to find the vertices that
-  actually rise.
+  around the edge: vertices of core exactly r reachable from the edge
+  through vertices of core exactly r. We collect that candidate region
+  with a BFS restricted to core-r vertices, then peel it with the k-core
+  condition at r + 1 to find the vertices that actually rise.
 * **remove(u, v)** — core numbers can only *decrease*, by at most 1, and
   only inside the same region; we re-peel the candidate region against
   its boundary.
 
+Why the BFS may stay inside core == r (it needs no core ≥ r detours): a
+non-endpoint vertex changes only when a neighbour's core crosses the r/r+1
+boundary, and every crossing vertex has core exactly r — so the changed
+set is chained to an edge endpoint through core-r/core-r edges. Formally,
+if a connected set S of core-r vertices not containing u or v could rise,
+each of its members would already have had ≥ r+1 neighbours inside
+S ∪ (old (r+1)-core), making S part of the old (r+1)-core — contradiction;
+the deletion case mirrors this with the cascade re-peel of the old r-core,
+whose first casualty must be an endpoint. (An earlier version of this
+docstring demanded reachability through core ≥ r vertices; that larger
+region is harmless but never needed — pinned down by the differential
+tests in ``tests/test_dynamic.py`` that recompute the full decomposition
+after *every* edit on bridge-heavy graphs.)
+
 Every operation is verified against full recomputation in the test-suite
-across thousands of random edits.
+across tens of thousands of random edits.
 """
 
 from __future__ import annotations
@@ -54,9 +68,13 @@ class DynamicCoreIndex:
 
     __slots__ = ("graph", "_core")
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph, cores: Dict[Vertex, int] = None):
         self.graph = graph
-        self._core: Dict[Vertex, int] = core_numbers(graph)
+        #: ``cores`` lets a caller seed from an existing decomposition
+        #: (e.g. a freshly built CL-tree) instead of re-peeling O(m).
+        self._core: Dict[Vertex, int] = (
+            dict(cores) if cores is not None else core_numbers(graph)
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -91,6 +109,15 @@ class DynamicCoreIndex:
         if self.graph.has_edge(u, v):
             return
         self.graph.add_edge(u, v)
+        self.edge_inserted(u, v)
+
+    def edge_inserted(self, u: Vertex, v: Vertex) -> None:
+        """Update core numbers for edge {u, v} already added to the graph.
+
+        The hook form of :meth:`insert` for callers that own the mutation
+        (e.g. :class:`~repro.core.profiled_graph.ProfiledGraph`'s versioned
+        update API applies the edit, then lets attached maintainers react).
+        """
         self._core.setdefault(u, 0)
         self._core.setdefault(v, 0)
         root = min(self._core[u], self._core[v])
@@ -107,6 +134,13 @@ class DynamicCoreIndex:
         if not self.graph.has_edge(u, v):
             return
         self.graph.remove_edge(u, v)
+        self.edge_removed(u, v)
+
+    def edge_removed(self, u: Vertex, v: Vertex) -> None:
+        """Update core numbers for edge {u, v} already removed from the graph.
+
+        The hook form of :meth:`remove` (see :meth:`edge_inserted`).
+        """
         root = min(self._core[u], self._core[v])
         if root == 0:
             return
@@ -123,6 +157,16 @@ class DynamicCoreIndex:
             self.remove(v, u)
         self.graph.remove_vertex(v)
         del self._core[v]
+
+    def vertex_dropped(self, v: Vertex) -> None:
+        """Forget ``v`` after an external removal.
+
+        External callers must drain ``v``'s incident edges first (through
+        :meth:`remove` or :meth:`edge_removed`, which need both endpoints
+        alive to bound their candidate regions), then drop the isolated
+        vertex and call this to retire its core entry.
+        """
+        self._core.pop(v, None)
 
     # ------------------------------------------------------------------
     # internals

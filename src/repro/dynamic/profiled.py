@@ -5,28 +5,32 @@ edge and profile edits while keeping PCS queries answerable:
 
 * core numbers are maintained incrementally
   (:class:`~repro.dynamic.core_maintenance.DynamicCoreIndex`);
-* the CP-tree is refreshed lazily — edits mark the affected labels dirty,
-  and the next query rebuilds only the per-label CL-trees whose subgraph
-  changed (an edge touches the labels of its endpoints; a profile change
-  touches the symmetric difference).
+* the CP-tree is refreshed lazily through the profiled graph's own
+  versioned mutation API — edits journal the affected labels, and the next
+  :meth:`DynamicProfiledGraph.index` call repairs only the per-label
+  CL-trees whose subgraph changed (see
+  :mod:`repro.index.maintenance`).
 
 This trades the paper's static-index assumption for an evolving-network
 workload without giving up exactness: a query sees exactly the CP-tree it
 would see after a full rebuild (checked in tests).
+
+Historically this class owned its own dirty-label bookkeeping and repair
+loop; that logic now lives in :mod:`repro.index.maintenance` behind
+``ProfiledGraph``'s mutation methods, so engines, CLIs and this wrapper all
+share one maintenance path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set
+from typing import FrozenSet, Hashable, Iterable
 
 from repro.core.community import PCSResult
 from repro.core.profiled_graph import ProfiledGraph
 from repro.core.search import pcs
 from repro.dynamic.core_maintenance import DynamicCoreIndex
 from repro.errors import VertexNotFoundError
-from repro.index.cltree import CLTree
 from repro.index.cptree import CPTree
-from repro.ptree.taxonomy import Taxonomy
 
 Vertex = Hashable
 NodeSet = FrozenSet[int]
@@ -38,105 +42,45 @@ class DynamicProfiledGraph:
     def __init__(self, pg: ProfiledGraph):
         self.pg = pg
         self.cores = DynamicCoreIndex(pg.graph)
-        self._index: Optional[CPTree] = None
-        self._dirty_labels: Set[int] = set()
-        self._all_dirty = True  # no index built yet
 
     # ------------------------------------------------------------------
-    # edits
+    # edits (delegating to the versioned ProfiledGraph mutation API, with
+    # incremental core-number maintenance layered on top)
     # ------------------------------------------------------------------
     def add_vertex(self, v: Vertex, labels: Iterable[int] = ()) -> None:
         """Add a new vertex with an optional profile."""
-        if v in self.pg.graph:
-            return
-        self.cores.add_vertex(v)
-        closed = self.pg.taxonomy.closure(labels)
-        self.pg.all_labels()[v] = closed  # type: ignore[index]
-        self._mark(closed)
+        if self.pg.add_vertex(v, profile=labels, validate=False):
+            self.cores.add_vertex(v)
 
     def insert_edge(self, u: Vertex, v: Vertex) -> None:
-        """Insert {u, v}; the labels of both endpoints become dirty."""
-        for w in (u, v):
-            if w not in self.pg.graph:
-                self.add_vertex(w)
-        self.cores.insert(u, v)
-        self._mark(self.pg.labels(u) | self.pg.labels(v))
+        """Insert {u, v}; shared labels of the endpoints become dirty."""
+        if self.pg.add_edge(u, v):
+            self.cores.edge_inserted(u, v)
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
-        """Remove {u, v}; the labels of both endpoints become dirty."""
-        self.cores.remove(u, v)
-        self._mark(self.pg.labels(u) | self.pg.labels(v))
+        """Remove {u, v}; shared labels of the endpoints become dirty."""
+        if self.pg.remove_edge(u, v):
+            self.cores.edge_removed(u, v)
 
-    def update_profile(self, v: Vertex, labels: Iterable[int]) -> None:
-        """Replace T(v); old and new labels become dirty."""
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` with profile and incident edges (cores maintained)."""
         if v not in self.pg.graph:
             raise VertexNotFoundError(v)
-        new = self.pg.taxonomy.closure(labels)
-        old = self.pg.labels(v)
-        mapping: Dict[Vertex, NodeSet] = self.pg.all_labels()  # live view
-        mapping[v] = new  # type: ignore[index]
-        self.pg._ptree_cache.pop(v, None)
-        self._mark(old | new)
+        for u in list(self.pg.graph.neighbors(v)):
+            self.remove_edge(v, u)
+        self.pg.remove_vertex(v)
+        self.cores.vertex_dropped(v)
 
-    def _mark(self, labels: Iterable[int]) -> None:
-        if self._all_dirty:
-            return
-        self._dirty_labels.update(labels)
+    def update_profile(self, v: Vertex, labels: Iterable[int]) -> None:
+        """Replace T(v); labels in the symmetric difference become dirty."""
+        self.pg.set_profile(v, labels, validate=False)
 
     # ------------------------------------------------------------------
     # index repair
     # ------------------------------------------------------------------
     def index(self) -> CPTree:
         """The CP-tree, repairing dirty per-label CL-trees on demand."""
-        if self._index is None or self._all_dirty:
-            self._index = CPTree(
-                self.pg.graph, self.pg.all_labels(), self.pg.taxonomy, validate=False
-            )
-            self._all_dirty = False
-            self._dirty_labels.clear()
-            return self._index
-        if self._dirty_labels:
-            self._repair(self._dirty_labels)
-            self._dirty_labels.clear()
-        return self._index
-
-    def _repair(self, labels: Set[int]) -> None:
-        """Rebuild the CL-trees (and membership) of the dirty labels only."""
-        index = self._index
-        assert index is not None
-        # Recompute membership buckets for dirty labels.
-        buckets: Dict[int, list] = {label: [] for label in labels}
-        head_map = index._head_map
-        taxonomy: Taxonomy = index.taxonomy
-        for v, label_set in self.pg.all_labels().items():
-            leaves = []
-            touched = False
-            for x in label_set:
-                if x in buckets:
-                    buckets[x].append(v)
-                    touched = True
-                if not any(c in label_set for c in taxonomy.children(x)):
-                    leaves.append(x)
-            if touched or v not in head_map:
-                head_map[v] = tuple(sorted(leaves))
-        from repro.index.cptree import CPNode
-
-        for label, members in buckets.items():
-            if not members:
-                index._nodes.pop(label, None)
-                continue
-            node = index._nodes.get(label)
-            cltree = CLTree(self.pg.graph, vertices=members)
-            if node is None:
-                node = CPNode(label, frozenset(members), cltree)
-                index._nodes[label] = node
-                parent_label = taxonomy.parent(label)
-                if parent_label != -1 and parent_label in index._nodes:
-                    node.parent = index._nodes[parent_label]
-                    node.parent.children.append(node)
-            else:
-                node.vertices = frozenset(members)
-                node.cltree = cltree
+        return self.pg.index()
 
     # ------------------------------------------------------------------
     # queries
@@ -147,8 +91,11 @@ class DynamicProfiledGraph:
 
     @property
     def dirty_label_count(self) -> int:
-        """Labels awaiting repair (0 right after :meth:`index`)."""
-        return len(self._dirty_labels) if not self._all_dirty else -1
+        """Labels awaiting repair (0 right after :meth:`index`; -1 when no
+        index has been built yet, so the next access is a full build)."""
+        if not self.pg.has_index():
+            return -1
+        return self.pg.pending_repair_labels
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DynamicProfiledGraph({self.pg!r}, dirty={self.dirty_label_count})"

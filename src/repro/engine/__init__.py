@@ -6,13 +6,21 @@ from repro.engine.batchfile import (
     parse_query_text,
     result_to_dict,
 )
-from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.cache import MISSING, CacheStats, LRUCache
 from repro.engine.explorer import (
     DEFAULT_K,
     DEFAULT_METHOD,
     CommunityExplorer,
     EngineStats,
     QuerySpec,
+)
+from repro.engine.updates import (
+    UPDATE_OPS,
+    GraphUpdate,
+    UpdateReceipt,
+    coerce_update_vertices,
+    load_update_file,
+    parse_update_text,
 )
 
 __all__ = [
@@ -23,6 +31,13 @@ __all__ = [
     "DEFAULT_METHOD",
     "LRUCache",
     "CacheStats",
+    "MISSING",
+    "GraphUpdate",
+    "UpdateReceipt",
+    "UPDATE_OPS",
+    "load_update_file",
+    "parse_update_text",
+    "coerce_update_vertices",
     "load_query_file",
     "parse_query_text",
     "coerce_spec_vertices",

@@ -1,10 +1,23 @@
-"""Thread-safe LRU cache with hit/miss accounting.
+"""Thread-safe LRU cache with hit/miss accounting and versioned entries.
 
 The engine's result cache: bounded, least-recently-used eviction, and
 counters precise enough to drive the throughput benchmarks (hit rate is a
 first-class metric of the serving layer). A ``maxsize`` of ``None`` means
 unbounded; ``0`` disables caching entirely while keeping the accounting
 (every lookup is a miss).
+
+Two lookup families coexist:
+
+* :meth:`LRUCache.get` / :meth:`LRUCache.put` — the plain mapping API.
+  Callers that may cache falsy values must pass :data:`MISSING` as the
+  default and compare with ``is``; ``None`` is a legal cached value.
+* :meth:`LRUCache.get_versioned` / :meth:`LRUCache.put_versioned` — the
+  epoch-based API behind mutation-safe serving. Entries are stored with the
+  data version they were computed against; a lookup whose version no longer
+  matches drops the entry, counts an *invalidation* (and a miss — the
+  caller must recompute), and keeps hit-rate statistics honest. Mutators
+  stay O(1): they only bump a version counter, stale entries are evicted
+  lazily on their next lookup.
 """
 
 from __future__ import annotations
@@ -14,7 +27,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterator, Optional, Tuple
 
-_MISSING = object()
+#: Sentinel distinguishing "absent from cache" from any cached value
+#: (including falsy ones: ``None``, empty results, 0, ...).
+MISSING = object()
+
+#: Backwards-compatible private alias (pre-dates the public name).
+_MISSING = MISSING
 
 
 @dataclass(frozen=True)
@@ -26,6 +44,9 @@ class CacheStats:
     evictions: int
     size: int
     maxsize: Optional[int]
+    #: Entries dropped because their stored version went stale (each also
+    #: counts as a miss: the caller had to recompute).
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -54,17 +75,48 @@ class LRUCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Look ``key`` up, counting a hit or a miss."""
+        """Look ``key`` up, counting a hit or a miss.
+
+        Pass :data:`MISSING` as ``default`` (and compare with ``is``) when
+        cached values may be falsy or ``None``.
+        """
         with self._lock:
-            value = self._data.get(key, _MISSING)
-            if value is _MISSING:
+            value = self._data.get(key, MISSING)
+            if value is MISSING:
                 self._misses += 1
                 return default
             self._hits += 1
             self._data.move_to_end(key)
             return value
+
+    def get_versioned(self, key: Hashable, version: Any, default: Any = MISSING) -> Any:
+        """Look up an entry stored by :meth:`put_versioned`.
+
+        A present entry whose stored version equals ``version`` is a hit.
+        A present entry with any other version is *stale*: it is removed,
+        counted as an invalidation plus a miss, and ``default`` is returned.
+        """
+        with self._lock:
+            entry = self._data.get(key, MISSING)
+            if entry is MISSING:
+                self._misses += 1
+                return default
+            entry_version, value = entry
+            if entry_version != version:
+                del self._data[key]
+                self._invalidations += 1
+                self._misses += 1
+                return default
+            self._hits += 1
+            self._data.move_to_end(key)
+            return value
+
+    def put_versioned(self, key: Hashable, version: Any, value: Any) -> None:
+        """Insert/refresh ``key`` tagged with the data ``version`` it reflects."""
+        self.put(key, (version, value))
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Look ``key`` up without touching counters or recency."""
@@ -85,6 +137,12 @@ class LRUCache:
                     self._data.popitem(last=False)
                     self._evictions += 1
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key`` without touching hit/miss counters."""
+        with self._lock:
+            value = self._data.pop(key, MISSING)
+            return default if value is MISSING else value
+
     def clear(self) -> None:
         """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:
@@ -93,6 +151,7 @@ class LRUCache:
     def reset_stats(self) -> None:
         with self._lock:
             self._hits = self._misses = self._evictions = 0
+            self._invalidations = 0
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -102,6 +161,7 @@ class LRUCache:
                 evictions=self._evictions,
                 size=len(self._data),
                 maxsize=self.maxsize,
+                invalidations=self._invalidations,
             )
 
     def __len__(self) -> int:

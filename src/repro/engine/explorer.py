@@ -14,7 +14,17 @@ embodiment of that claim:
   dictionary lookup;
 * it serves batches through :meth:`CommunityExplorer.explore_many`, with
   intra-batch deduplication and optional thread-pool fan-out for the
-  independent cache misses.
+  independent cache misses;
+* it is **mutation-safe**: cached results are tagged with the graph
+  :attr:`~repro.core.profiled_graph.ProfiledGraph.version` they were
+  computed against, so edits applied through
+  :meth:`CommunityExplorer.apply_updates` (or directly through the
+  profiled graph's versioned mutation API) invalidate stale entries in
+  O(1) — the version bump *is* the invalidation; stale entries are evicted
+  lazily on their next lookup and counted in
+  :attr:`EngineStats.invalidations`. The CP-tree is repaired incrementally
+  (only the per-label CL-trees an edit touched), with the time charged to
+  :attr:`EngineStats.maintenance_seconds`.
 
 Every future scaling layer (sharding, async serving, multi-backend) is
 expected to sit on top of this object rather than on raw ``pcs()`` calls.
@@ -32,7 +42,9 @@ from repro.core.cohesion import CohesionModel, get_cohesion
 from repro.core.community import PCSResult
 from repro.core.profiled_graph import ProfiledGraph
 from repro.core.search import ALL_METHODS, pcs
-from repro.engine.cache import CacheStats, LRUCache
+from repro.dynamic.core_maintenance import DynamicCoreIndex
+from repro.engine.cache import MISSING, CacheStats, LRUCache
+from repro.engine.updates import GraphUpdate, UpdateReceipt
 from repro.errors import InvalidInputError, VertexNotFoundError
 from repro.index.cltree import CLTree
 from repro.index.cptree import CPTree
@@ -141,10 +153,19 @@ class EngineStats:
     index_builds: int
     index_build_seconds: float
     batches: int
+    #: Effective graph edits applied through :meth:`CommunityExplorer.apply_updates`.
+    updates_applied: int = 0
+    #: Time spent applying updates and incrementally repairing indexes.
+    maintenance_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
         return self.cache.hit_rate
+
+    @property
+    def invalidations(self) -> int:
+        """Cached results discarded because the graph moved past their version."""
+        return self.cache.invalidations
 
 
 @dataclass
@@ -153,6 +174,8 @@ class _Counters:
     index_builds: int = 0
     index_build_seconds: float = 0.0
     batches: int = 0
+    updates_applied: int = 0
+    maintenance_seconds: float = 0.0
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -202,32 +225,61 @@ class CommunityExplorer:
         self._cache = LRUCache(maxsize=cache_size)
         self._counters = _Counters()
         self._cltree: Optional[CLTree] = None
+        self._cltree_version: int = -1
+        self._cores: Optional[DynamicCoreIndex] = None
+        self._cores_version: int = -1
         self._index_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # index ownership
     # ------------------------------------------------------------------
     def index(self) -> CPTree:
-        """The CP-tree, built on first use and reused forever after.
+        """The CP-tree: built on first use, incrementally repaired after edits.
 
-        Thread-safe: concurrent first calls build the index once.
+        Thread-safe: concurrent first calls build the index once. When the
+        profiled graph has journaled mutations, the underlying
+        ``pg.index()`` call repairs only the dirty per-label CL-trees; that
+        repair time is charged to :attr:`EngineStats.maintenance_seconds`.
         """
         with self._index_lock:
-            if not self.pg.has_index():
-                start = time.perf_counter()
-                built = self.pg.index()
-                elapsed = time.perf_counter() - start
+            fresh_build = not self.pg.has_index()
+            repairs_before = self.pg.maintenance_seconds
+            start = time.perf_counter()
+            built = self.pg.index()
+            elapsed = time.perf_counter() - start
+            repair_delta = self.pg.maintenance_seconds - repairs_before
+            if fresh_build or repair_delta:
                 with self._counters.lock:
-                    self._counters.index_builds += 1
-                    self._counters.index_build_seconds += elapsed
-                return built
-            return self.pg.index()
+                    if fresh_build:
+                        self._counters.index_builds += 1
+                        self._counters.index_build_seconds += elapsed
+                    self._counters.maintenance_seconds += repair_delta
+            return built
 
     def cltree(self) -> CLTree:
-        """The whole-graph CL-tree (all k-ĉores), built lazily once."""
+        """The whole-graph CL-tree (all k-ĉores) for the *current* graph.
+
+        Built lazily, reused until the graph version moves. After edits
+        applied through :meth:`apply_updates`, the rebuild reuses the
+        incrementally maintained core numbers (a shared
+        :class:`~repro.dynamic.core_maintenance.DynamicCoreIndex`) and
+        skips the O(m) peel.
+        """
         with self._index_lock:
-            if self._cltree is None:
-                self._cltree = CLTree(self.pg.graph)
+            version = self.pg.version
+            if self._cltree is None or self._cltree_version != version:
+                if self._cores is not None and self._cores_version == version:
+                    self._cltree = CLTree(self.pg.graph, cores=self._cores.core_numbers())
+                else:
+                    self._cltree = CLTree(self.pg.graph)
+                    # Seed the shared core index from the freshly peeled
+                    # CL-tree state so subsequent apply_updates batches can
+                    # maintain it instead of re-peeling.
+                    self._cores = DynamicCoreIndex(
+                        self.pg.graph, cores=self._cltree._core_of
+                    )
+                self._cltree_version = version
+                self._cores_version = version
             return self._cltree
 
     def warm(self) -> float:
@@ -269,16 +321,26 @@ class CommunityExplorer:
         method: Optional[str] = None,
         cohesion: Optional[object] = None,
     ) -> PCSResult:
-        """One PCS query through the cache and the shared index."""
+        """One PCS query through the version-checked cache and shared index.
+
+        The vertex is validated before any cache traffic, so an unknown
+        vertex raises without perturbing hit/miss accounting. A cached
+        entry is served only if it was computed at the current graph
+        version; entries stranded behind a mutation are dropped (counted
+        as an invalidation plus a miss) and recomputed.
+        """
         spec = QuerySpec(
             q=q, k=self.default_k if k is None else k, method=method, cohesion=cohesion
         )
         key = self._resolve(spec)
-        cached = self._cache.get(key)
-        if cached is not None:
+        if key[0] not in self.pg:
+            raise VertexNotFoundError(key[0])
+        version = self.pg.version
+        cached = self._cache.get_versioned(key, version, MISSING)
+        if cached is not MISSING:
             return cached
         result = self._run(*key)
-        self._cache.put(key, result)
+        self._cache.put_versioned(key, version, result)
         return result
 
     def explore_many(
@@ -288,26 +350,34 @@ class CommunityExplorer:
     ) -> List[PCSResult]:
         """Serve a batch of queries; results align with the input order.
 
-        Identical specs inside the batch are deduplicated (executed once);
-        specs already cached are served from cache. Cache misses run either
+        The whole batch is validated up front — every spec's method and
+        query vertex — so a malformed batch fails *before* any query
+        executes, bumps a counter or touches the cache (no partially
+        executed batches). Identical specs inside the batch are
+        deduplicated (executed once); specs already cached at the current
+        graph version are served from cache. Cache misses run either
         sequentially or on a thread pool of ``workers`` threads
         (``workers=None`` falls back to the explorer's ``max_workers``).
         Results are deterministic regardless of thread scheduling: the same
         batch always yields the same results in the same order.
         """
         batch = [QuerySpec.coerce(item) for item in specs]
-        keys = [self._resolve(spec) for spec in batch]
+        keys = [self._resolve(spec) for spec in batch]  # validates methods
+        for key in keys:
+            if key[0] not in self.pg:
+                raise VertexNotFoundError(key[0])
         with self._counters.lock:
             self._counters.batches += 1
 
         # One cache lookup per *incoming* spec so hit/miss accounting matches
         # the caller's view of the batch; duplicate misses execute once.
+        version = self.pg.version
         resolved: dict = {}
         pending: List[Tuple] = []
         queued = set()
         for key in keys:
-            hit = self._cache.get(key)
-            if hit is not None:
+            hit = self._cache.get_versioned(key, version, MISSING)
+            if hit is not MISSING:
                 resolved[key] = hit
             elif key not in resolved and key not in queued:
                 pending.append(key)
@@ -324,8 +394,99 @@ class CommunityExplorer:
             for key in pending:
                 resolved[key] = self._run(*key)
         for key in pending:
-            self._cache.put(key, resolved[key])
+            self._cache.put_versioned(key, version, resolved[key])
         return [resolved[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        updates: Iterable[Union[GraphUpdate, Tuple, dict]],
+        repair: bool = True,
+    ) -> UpdateReceipt:
+        """Apply a batch of graph edits and keep the engine consistent.
+
+        Edits are applied in order through the profiled graph's versioned
+        mutation API: every effective edit bumps ``pg.version``, which
+        invalidates all cached results computed before it (epoch check —
+        O(1) per mutation, stale entries are evicted lazily on lookup).
+        With ``repair=True`` (default) and a built index, the CP-tree is
+        repaired incrementally at the end of the batch so the damage of
+        many edits is paid once; pass ``repair=False`` to defer repair to
+        the next query. The shared core index behind :meth:`cltree` is
+        maintained edge-by-edge when it exists.
+
+        Update shapes are validated up front; applying is *not* atomic —
+        an unknown vertex mid-batch raises after earlier edits landed (the
+        graph and caches stay consistent, the receipt is lost).
+        """
+        ops = [GraphUpdate.coerce(item) for item in updates]
+        start = time.perf_counter()
+        applied = 0
+        with self._index_lock:
+            # Maintain the shared core index only when it is current: edits
+            # made directly through the ProfiledGraph API (also supported)
+            # moved the version past it, so patching from that stale base
+            # would silently lose them — drop it and let cltree() re-seed.
+            maintain_cores = (
+                self._cores is not None and self._cores_version == self.pg.version
+            )
+            if not maintain_cores:
+                self._cores = None
+            for op in ops:
+                applied += 1 if self._apply_one(op, maintain_cores) else 0
+            if maintain_cores:
+                self._cores_version = self.pg.version
+            repaired_labels = 0
+            if repair and self.pg.has_index():
+                repaired_labels = self.pg.pending_repair_labels
+                self.pg.index()  # incremental repair (direct: lock is held)
+        elapsed = time.perf_counter() - start
+        with self._counters.lock:
+            self._counters.updates_applied += applied
+            self._counters.maintenance_seconds += elapsed
+        return UpdateReceipt(
+            requested=len(ops),
+            applied=applied,
+            version=self.pg.version,
+            repaired_labels=repaired_labels,
+            seconds=elapsed,
+        )
+
+    def _apply_one(self, op: GraphUpdate, maintain_cores: bool) -> bool:
+        pg = self.pg
+        cores = self._cores if maintain_cores else None
+        kind = op.op
+        if kind == "add_edge":
+            changed = pg.add_edge(op.u, op.v)
+            if changed and cores is not None:
+                cores.edge_inserted(op.u, op.v)
+            return changed
+        if kind == "remove_edge":
+            changed = pg.remove_edge(op.u, op.v)
+            if changed and cores is not None:
+                cores.edge_removed(op.u, op.v)
+            return changed
+        if kind == "add_vertex":
+            changed = pg.add_vertex(op.u, profile=op.labels or ())
+            if changed and cores is not None:
+                cores.add_vertex(op.u)
+            return changed
+        if kind == "remove_vertex":
+            if cores is not None:
+                # Drain incident edges first: core maintenance needs both
+                # endpoints alive to bound its candidate regions.
+                for nbr in list(pg.graph.neighbors(op.u)):
+                    pg.remove_edge(op.u, nbr)
+                    cores.edge_removed(op.u, nbr)
+            pg.remove_vertex(op.u)
+            if cores is not None:
+                cores.vertex_dropped(op.u)
+            return True
+        if kind == "set_profile":
+            return pg.set_profile(op.u, op.labels or ())
+        raise InvalidInputError(f"unknown update op {kind!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -338,11 +499,19 @@ class CommunityExplorer:
                 index_builds=self._counters.index_builds,
                 index_build_seconds=self._counters.index_build_seconds,
                 batches=self._counters.batches,
+                updates_applied=self._counters.updates_applied,
+                maintenance_seconds=self._counters.maintenance_seconds,
             )
 
     def clear_cache(self) -> None:
-        """Drop cached results (the index is kept — it never goes stale
-        while the graph is unmutated)."""
+        """Drop all cached results unconditionally.
+
+        Rarely needed for correctness any more: results are version-tagged,
+        so graph mutations already invalidate stale entries (lazily, on
+        their next lookup). Use this to release memory or to force
+        recomputation at an unchanged version. The CP-tree is kept — it is
+        repaired, not discarded, when the graph changes.
+        """
         self._cache.clear()
 
     def reset_stats(self) -> None:
@@ -352,6 +521,8 @@ class CommunityExplorer:
             self._counters.index_builds = 0
             self._counters.index_build_seconds = 0.0
             self._counters.batches = 0
+            self._counters.updates_applied = 0
+            self._counters.maintenance_seconds = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats()

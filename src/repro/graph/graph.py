@@ -237,12 +237,19 @@ class Graph:
         return len(self.component_of(source)) == len(self._adj)
 
     def bfs_order(self, source: Vertex) -> List[Vertex]:
-        """Vertices in BFS order from ``source``."""
+        """Vertices in BFS order from ``source``.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If ``source`` is not in the graph (checked before any traversal
+            state is seeded).
+        """
+        if source not in self._adj:
+            raise VertexNotFoundError(source)
         seen: Set[Vertex] = {source}
         order: List[Vertex] = [source]
         queue: deque = deque((source,))
-        if source not in self._adj:
-            raise VertexNotFoundError(source)
         while queue:
             u = queue.popleft()
             for w in self._adj[u]:

@@ -35,6 +35,23 @@ NodeSet = FrozenSet[int]
 EMPTY: FrozenSet[Vertex] = frozenset()
 
 
+def ptree_leaves(labels: NodeSet, taxonomy: Taxonomy) -> Tuple[int, ...]:
+    """The headMap entry of a label set: its leaves, sorted.
+
+    A label is a leaf of the (ancestor-closed) set when none of its
+    taxonomy children is in the set. Shared by construction and by
+    incremental repair (:mod:`repro.index.maintenance`) so the two can
+    never diverge on headMap semantics.
+    """
+    return tuple(
+        sorted(
+            x
+            for x in labels
+            if not any(c in labels for c in taxonomy.children(x))
+        )
+    )
+
+
 class CPNode:
     """One CP-tree node: a taxonomy label plus the CL-tree of its subgraph."""
 
@@ -92,12 +109,9 @@ class CPTree:
                 raise InvalidInputError(
                     f"label set of vertex {v!r} is not ancestor-closed"
                 )
-            leaves = []
             for x in labels:
                 buckets.setdefault(x, []).append(v)
-                if not any(c in labels for c in taxonomy.children(x)):
-                    leaves.append(x)
-            head_map[v] = tuple(sorted(leaves))
+            head_map[v] = ptree_leaves(labels, taxonomy)
         # --- Algorithm 2, lines 8-9: one CL-tree per label.
         self._nodes: Dict[int, CPNode] = {}
         for label, members in buckets.items():

@@ -1,0 +1,221 @@
+"""Incremental CP-tree maintenance under profiled-graph mutations.
+
+The CP-tree costs O(|P| · m · α(n)) to build (one CL-tree per taxonomy
+label in use), which makes rebuild-per-edit hopeless for the online,
+evolving-network workload the paper targets. A single edit, however, can
+only damage a small, exactly-characterisable part of the index:
+
+* an **edge edit** ``{u, v}`` changes the induced subgraph of label ``t``
+  iff *both* endpoints carry ``t`` — so only the CL-trees of
+  ``T(u) ∩ T(v)`` need rebuilding, and no membership changes at all;
+* a **profile edit** on ``v`` changes membership only for labels in the
+  symmetric difference ``old Δ new`` (labels kept on both sides keep the
+  same induced subgraph);
+* a **vertex add/remove** touches only the labels that vertex carries.
+
+:class:`UpdateJournal` accumulates that damage as mutations happen (O(|P(v)|)
+bookkeeping per edit, no scans), and :func:`repair_cptree` replays it
+against a built index: per-label membership is patched from the journal's
+touched sets, dirty CL-trees are rebuilt from the live graph, emptied
+CP-nodes are unlinked, new ones are created parent-first, and the headMap
+entries of re-profiled vertices are recomputed. Because labels are
+ancestor-closed, per-label member sets are nested along the taxonomy
+(child ⊆ parent), which is what makes drop/create link surgery safe: an
+emptied node's children are provably empty too, and a created node can
+never have to adopt pre-existing children.
+
+A repaired index is indistinguishable from a fresh
+:class:`~repro.index.cptree.CPTree` build (checked structurally in the
+test-suite across randomized edit sequences). Wholesale changes the journal
+cannot express — swapping the taxonomy, replacing the label mapping — must
+fall back to a full rebuild (``ProfiledGraph.index(rebuild=True)``), which
+:meth:`UpdateJournal.mark_all` forces on the next access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+from repro.graph.graph import Graph
+from repro.index.cltree import CLTree
+from repro.index.cptree import CPNode, CPTree, ptree_leaves
+
+Vertex = Hashable
+NodeSet = FrozenSet[int]
+
+
+class UpdateJournal:
+    """Pending CP-tree damage accumulated by profiled-graph mutations.
+
+    The journal is order-independent: it records *which* labels and vertices
+    an edit sequence may have affected, and :func:`repair_cptree` re-derives
+    their final state from the live graph and label mapping. Recording is
+    O(size of the touched profiles) per edit.
+    """
+
+    __slots__ = ("dirty_labels", "touched", "reprofiled", "dropped", "full")
+
+    def __init__(self) -> None:
+        #: Labels whose per-label CL-tree must be rebuilt.
+        self.dirty_labels: Set[int] = set()
+        #: label → vertices whose membership in that label may have changed.
+        self.touched: Dict[int, Set[Vertex]] = {}
+        #: Vertices whose headMap entry must be recomputed.
+        self.reprofiled: Set[Vertex] = set()
+        #: Vertices removed from the graph (headMap entry must be dropped).
+        self.dropped: Set[Vertex] = set()
+        #: When set, the journal cannot express the damage — full rebuild.
+        self.full: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.full
+            or self.dirty_labels
+            or self.reprofiled
+            or self.dropped
+        )
+
+    @property
+    def num_dirty_labels(self) -> int:
+        return len(self.dirty_labels)
+
+    def _touch(self, label: int, v: Vertex) -> None:
+        self.dirty_labels.add(label)
+        self.touched.setdefault(label, set()).add(v)
+
+    # ------------------------------------------------------------------
+    # recording (one call per ProfiledGraph mutation)
+    # ------------------------------------------------------------------
+    def record_edge(self, labels_u: NodeSet, labels_v: NodeSet) -> None:
+        """Edge {u, v} inserted or removed: only shared labels are damaged."""
+        self.dirty_labels |= labels_u & labels_v
+
+    def record_vertex_added(self, v: Vertex, labels: NodeSet) -> None:
+        for t in labels:
+            self._touch(t, v)
+        self.reprofiled.add(v)
+        self.dropped.discard(v)
+
+    def record_vertex_removed(self, v: Vertex, labels: NodeSet) -> None:
+        for t in labels:
+            self._touch(t, v)
+        self.reprofiled.discard(v)
+        self.dropped.add(v)
+
+    def record_profile_change(self, v: Vertex, old: NodeSet, new: NodeSet) -> None:
+        """T(v) replaced: membership changes exactly on ``old Δ new``."""
+        for t in old ^ new:
+            self._touch(t, v)
+        self.reprofiled.add(v)
+
+    def mark_all(self) -> None:
+        """Force a full rebuild on the next index access."""
+        self.full = True
+
+    def clear(self) -> None:
+        self.dirty_labels.clear()
+        self.touched.clear()
+        self.reprofiled.clear()
+        self.dropped.clear()
+        self.full = False
+
+
+def _depth(taxonomy, label: int) -> int:
+    d = 0
+    while True:
+        label = taxonomy.parent(label)
+        if label == -1:
+            return d
+        d += 1
+
+
+def repair_cptree(
+    index: CPTree,
+    graph: Graph,
+    vertex_labels: Mapping[Vertex, NodeSet],
+    journal: UpdateJournal,
+) -> int:
+    """Patch ``index`` in place so it matches a fresh build; returns the
+    number of per-label CL-trees rebuilt.
+
+    Pre-condition: ``index`` was consistent with the graph/labels state the
+    journal started recording from, and ``journal.full`` is False (callers
+    handle the full-rebuild fallback themselves).
+    """
+    if journal.full:
+        raise ValueError("journal demands a full rebuild; repair cannot express it")
+
+    taxonomy = index.taxonomy
+    nodes = index._nodes
+    head_map = index._head_map
+
+    # --- 1. final membership of every damaged label (order-independent:
+    # derived from the live label mapping, not from the edit sequence).
+    new_members: Dict[int, FrozenSet[Vertex]] = {}
+    for label in journal.dirty_labels:
+        node = nodes.get(label)
+        members = set(node.vertices) if node is not None else set()
+        for v in journal.touched.get(label, ()):
+            if label in vertex_labels.get(v, ()):
+                members.add(v)
+            else:
+                members.discard(v)
+        new_members[label] = frozenset(members)
+
+    # --- 2. drop emptied CP-nodes. Ancestor-closure nests member sets along
+    # the taxonomy, so an emptied node's children are empty too — link
+    # surgery is local.
+    for label, members in new_members.items():
+        if members:
+            continue
+        node = nodes.pop(label, None)
+        if node is None:
+            continue
+        if node.parent is not None and node in node.parent.children:
+            node.parent.children.remove(node)
+        node.parent = None
+
+    # --- 3. rebuild surviving dirty CL-trees; create new nodes parent-first
+    # so their taxonomy links resolve within this same repair.
+    rebuilt = 0
+    surviving = [label for label, members in new_members.items() if members]
+    surviving.sort(key=lambda label: _depth(taxonomy, label))
+    for label in surviving:
+        members = new_members[label]
+        cltree = CLTree(graph, vertices=members)
+        rebuilt += 1
+        node = nodes.get(label)
+        if node is None:
+            node = CPNode(label, members, cltree)
+            nodes[label] = node
+            parent_label = taxonomy.parent(label)
+            if parent_label != -1 and parent_label in nodes:
+                node.parent = nodes[parent_label]
+                node.parent.children.append(node)
+        else:
+            node.vertices = members
+            node.cltree = cltree
+
+    # --- 4. headMap: drop removed vertices, recompute re-profiled ones.
+    for v in journal.dropped:
+        head_map.pop(v, None)
+    for v in journal.reprofiled:
+        labels = vertex_labels.get(v)
+        if labels is None:
+            head_map.pop(v, None)
+            continue
+        head_map[v] = ptree_leaves(labels, taxonomy)
+    index._num_vertices = len(head_map)
+    return rebuilt
+
+
+def dirty_labels_for_edits(
+    vertex_labels: Mapping[Vertex, NodeSet],
+    edges: Iterable[Tuple[Vertex, Vertex]],
+) -> Set[int]:
+    """Labels whose CL-tree a batch of edge edits would dirty (diagnostics)."""
+    dirty: Set[int] = set()
+    empty: NodeSet = frozenset()
+    for u, v in edges:
+        dirty |= vertex_labels.get(u, empty) & vertex_labels.get(v, empty)
+    return dirty

@@ -113,6 +113,60 @@ class TestBatch:
         assert [r["query"] for r in payload["results"]] == ["D", "E", "A"]
 
 
+class TestUpdate:
+    def edits(self, tmp_path, text):
+        path = tmp_path / "edits.txt"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_update_applies_and_reports(self, capsys, tmp_path):
+        edits = self.edits(
+            tmp_path,
+            "# warm-up edits\n"
+            "remove-edge C D\n"
+            "add-edge A C\n"
+            "set-profile E ML,AI\n"
+            "add-vertex Z ML\n"
+            "add-edge Z B\n",
+        )
+        out = tmp_path / "update.json"
+        assert main(
+            [
+                "update", "--dataset", "fig1", "--edits", edits,
+                "--query", "D", "--k", "2", "--out", str(out),
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "edits applied      : 5/5" in text
+        assert "cache invalidations: 1" in text
+        payload = json.loads(out.read_text())
+        assert payload["receipt"]["applied"] == 5
+        assert payload["receipt"]["repaired_labels"] > 0
+        assert payload["engine"]["graph_version"] == 5
+        assert payload["query"]["num_communities"] >= 1
+
+    def test_update_removed_query_vertex(self, capsys, tmp_path):
+        edits = self.edits(tmp_path, "remove-vertex D\n")
+        out = tmp_path / "update.json"
+        assert main(
+            [
+                "update", "--dataset", "fig1", "--edits", edits,
+                "--query", "D", "--k", "2", "--out", str(out),
+            ]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["query"]["error"] == "vertex removed"
+
+    def test_update_empty_file_fails(self, capsys, tmp_path):
+        edits = self.edits(tmp_path, "# nothing\n")
+        assert main(["update", "--dataset", "fig1", "--edits", edits]) == 1
+        assert "no edits" in capsys.readouterr().err
+
+    def test_update_requires_edits_file(self):
+        with pytest.raises(SystemExit):
+            main(["update", "--dataset", "fig1"])
+
+
 class TestBenchEngine:
     def test_bench_engine_fig1(self, capsys, tmp_path):
         out = tmp_path / "bench.json"

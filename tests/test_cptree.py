@@ -104,8 +104,17 @@ class TestGet:
         assert fig1_index.get(1, "D", 999999) == frozenset()
 
     def test_get_vertex_without_label(self, fig1, fig1_index):
+        # Regression: q not carrying the label must yield the empty set at
+        # every k (including k=0), never raise — the CL-tree lookup for an
+        # absent vertex short-circuits before touching core numbers.
         ml = fig1.taxonomy.id_of("ML")
-        assert fig1_index.get(1, "E", ml) == frozenset()
+        assert "ML" not in fig1.ptree("E").names()
+        for k in (0, 1, 2, 5):
+            assert fig1_index.get(k, "E", ml) == frozenset()
+
+    def test_get_unknown_vertex_empty(self, fig1, fig1_index):
+        ml = fig1.taxonomy.id_of("ML")
+        assert fig1_index.get(1, "not-a-vertex", ml) == frozenset()
 
     @pytest.mark.parametrize("seed", range(4))
     def test_random_cross_check(self, seed):

@@ -58,6 +58,35 @@ class TestDynamicCoreIndex:
         index = DynamicCoreIndex(g)
         assert index.k_core_vertices(2) == frozenset({0, 1, 2})
 
+    def test_hook_forms_match_wrappers(self):
+        # edge_inserted / edge_removed react to mutations the caller owns.
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        index = DynamicCoreIndex(g)
+        g.add_edge(2, 3)
+        index.edge_inserted(2, 3)
+        assert index.verify()
+        g.remove_edge(0, 1)
+        index.edge_removed(0, 1)
+        assert index.verify()
+
+    def test_vertex_dropped_after_draining_edges(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        index = DynamicCoreIndex(g)
+        for u in list(g.neighbors(3)):
+            g.remove_edge(3, u)
+            index.edge_removed(3, u)
+        g.remove_vertex(3)
+        index.vertex_dropped(3)
+        assert 3 not in index.core_numbers()
+        assert index.verify()
+
+    def test_seeded_cores_skip_recomputation(self):
+        g = Graph([(0, 1), (1, 2), (2, 0)])
+        seeded = DynamicCoreIndex(g, cores={0: 2, 1: 2, 2: 2})
+        assert seeded.verify()
+        seeded.insert(2, 3)
+        assert seeded.verify()
+
     @pytest.mark.parametrize("seed", range(6))
     def test_random_edit_sequences_stay_exact(self, seed):
         rng = random.Random(seed)
@@ -79,6 +108,72 @@ class TestDynamicCoreIndex:
             if step % 20 == 0:
                 assert index.verify(), f"diverged at step {step}"
         assert index.verify()
+
+
+def _barbell_graph(k1: int, k2: int, bridges, rng) -> Graph:
+    """Two cliques plus `bridges` random inter-clique edges — the topology
+    where a too-small candidate region would show: high-core components
+    connected through low-core bridge vertices."""
+    g = Graph()
+    for i in range(k1):
+        for j in range(i + 1, k1):
+            g.add_edge(i, j)
+    for i in range(k2):
+        for j in range(i + 1, k2):
+            g.add_edge(k1 + i, k1 + j)
+    for _ in range(bridges):
+        g.add_edge(rng.randrange(k1), k1 + rng.randrange(k2))
+    return g
+
+
+class TestCandidateRegionDifferential:
+    """Pin down the candidate-region semantics (issue: code vs docstring).
+
+    The BFS in ``_candidate_region`` traverses only ``core == root``
+    vertices; an earlier docstring claimed paths through ``core ≥ root``
+    vertices were required. These tests recompute the full decomposition
+    after *every* edit on bridge-heavy graphs — the structures where a
+    core-r region reachable only through higher-core vertices would arise
+    if the tighter traversal were wrong — and confirm the code side: the
+    changed set is always chained to an edge endpoint through core-root
+    vertices, so the ``core == root`` subcore suffices.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bridge_heavy_edits_verify_after_every_edit(self, seed):
+        rng = random.Random(seed)
+        g = _barbell_graph(5, 5, bridges=rng.randrange(1, 4), rng=rng)
+        n = 14  # leaves ids 10..13 as initially absent vertices
+        index = DynamicCoreIndex(g)
+        assert index.verify()
+        for step in range(140):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if g.has_edge(u, v):
+                index.remove(u, v)
+            else:
+                index.insert(u, v)
+            assert index.verify(), f"diverged at step {step} on edit ({u}, {v})"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pendant_trees_on_dense_core(self, seed):
+        # Core-1 chains hanging off a dense core: insertions between chain
+        # tips route any rise through the high-core hub vertices.
+        rng = random.Random(seed)
+        g = gnp_graph(8, 0.6, seed=seed)
+        for i in range(8, 20):
+            g.add_edge(i, rng.randrange(i))
+        index = DynamicCoreIndex(g)
+        for step in range(120):
+            u, v = rng.randrange(20), rng.randrange(20)
+            if u == v:
+                continue
+            if g.has_edge(u, v):
+                index.remove(u, v)
+            else:
+                index.insert(u, v)
+            assert index.verify(), f"diverged at step {step} on edit ({u}, {v})"
 
 
 class TestDynamicProfiledGraph:

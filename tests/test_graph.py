@@ -156,3 +156,11 @@ class TestTraversal:
         order = g.bfs_order(2)
         assert order[0] == 2
         assert set(order) == {0, 1, 2, 3}
+
+    def test_bfs_order_unknown_source_raises(self):
+        # Regression: the membership check must run before any traversal
+        # state is seeded, so a bad source raises instead of returning a
+        # phantom [source] ordering.
+        g = Graph([(0, 1)])
+        with pytest.raises(VertexNotFoundError):
+            g.bfs_order(99)
