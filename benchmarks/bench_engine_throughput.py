@@ -38,6 +38,7 @@ from repro.bench import (
     Workload,
     make_workload,
     measure_cold_warm,
+    measure_facade_overhead,
     save_tables,
     smoke_mode,
 )
@@ -46,6 +47,17 @@ from repro.engine import CommunityExplorer
 
 #: Acceptance floor: warm-index batched serving vs per-query index rebuild.
 MIN_SPEEDUP = 5.0
+
+#: Facade acceptance (the PR's criterion): routing a workload through
+#: CommunityService must stay within 5% of bare ``explore_many``. Per-query
+#: times at bench scale are fractions of a millisecond, so single runs
+#: jitter well past the real ~2% overhead; the run is retried and passes if
+#: the *best* of ``FACADE_ATTEMPTS`` observations lands under the bound
+#: (regressions that matter — an accidental deep copy, per-query index
+#: probe, O(n) middleware — shift every observation, not just the noisy
+#: ones).
+MAX_FACADE_OVERHEAD = 0.05
+FACADE_ATTEMPTS = 3
 
 #: Queries timed on the cold path (index rebuild dominates; a few suffice).
 COLD_QUERY_CAP = 3
@@ -84,6 +96,28 @@ def measure_engine(
         **report.to_dict(),
         "queries_per_second": report.throughput.queries_per_second,
         "cache_hit_rate": report.throughput.cache_hit_rate,
+    }
+
+
+def measure_facade(
+    pg: ProfiledGraph, workload: Workload, method: str = "adv-P"
+) -> dict:
+    """Best-of-N service-vs-engine overhead for one workload.
+
+    Routes the identical workload through :class:`repro.api.CommunityService`
+    and bare :meth:`CommunityExplorer.explore_many`; reports the attempt
+    with the lowest overhead plus all observations (see
+    :data:`MAX_FACADE_OVERHEAD` for why best-of-N).
+    """
+    attempts = [
+        measure_facade_overhead(pg, workload, method=method, repeat_factor=REPEAT)
+        for _ in range(FACADE_ATTEMPTS)
+    ]
+    best = min(attempts, key=lambda m: m["overhead_fraction"])
+    return {
+        **best,
+        "observed_overheads": [m["overhead_fraction"] for m in attempts],
+        "passed": best["overhead_fraction"] <= MAX_FACADE_OVERHEAD,
     }
 
 
@@ -126,6 +160,39 @@ def test_engine_throughput(benchmark, datasets, workloads):
     benchmark(lambda: explorer.explore(q, k=6))
 
 
+@pytest.mark.smoke
+def test_facade_overhead(datasets, workloads):
+    """CommunityService must not slow serving beyond MAX_FACADE_OVERHEAD."""
+    name = "acmdl"
+    facade = measure_facade(datasets[name], workloads[name])
+    save_tables(
+        "facade_overhead", [_render_facade({name: facade})], extra={name: facade}
+    )
+    assert facade["passed"], (
+        f"{name}: service {facade['service_ms_per_query']:.3f} ms/query vs "
+        f"engine {facade['engine_ms_per_query']:.3f} ms/query — best observed "
+        f"overhead {facade['overhead_fraction']:+.1%} exceeds "
+        f"{MAX_FACADE_OVERHEAD:.0%} (all: "
+        f"{[f'{o:+.1%}' for o in facade['observed_overheads']]})"
+    )
+
+
+def _render_facade(payload: dict) -> Table:
+    table = Table(
+        "Facade overhead — CommunityService vs bare CommunityExplorer",
+        ["dataset", "engine ms/q", "service ms/q", "overhead", "ok"],
+    )
+    for name, row in payload.items():
+        table.add_row(
+            name,
+            round(row["engine_ms_per_query"], 3),
+            round(row["service_ms_per_query"], 3),
+            f"{row['overhead_fraction']:+.1%}",
+            "yes" if row["passed"] else "NO",
+        )
+    return table
+
+
 def main(argv=None) -> int:
     """Standalone entry point (used by the CI benchmark-smoke job)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -158,25 +225,45 @@ def main(argv=None) -> int:
     num_queries = args.num_queries or bench_queries()
 
     payload = {}
+    facade_payload = {}
     for name in names:
         pg = load_dataset(name, scale=bench_scale(name))
         workload = make_workload(pg, name, num_queries=num_queries, k=args.k, seed=7)
         payload[name] = measure_engine(
             pg, workload, method=args.method, workers=args.workers
         )
+        if name == names[0]:
+            # One workload is enough to catch facade regressions; the
+            # overhead is dataset-independent (per-query fixed cost).
+            facade_payload[name] = measure_facade(pg, workload, method=args.method)
     table = _render(payload)
     table.show()
+    facade_table = _render_facade(facade_payload)
+    facade_table.show()
     result_name = args.out or (
         "engine_throughput_smoke" if smoke_mode() else "engine_throughput"
     )
-    path = save_tables(result_name, [table], extra={"measurements": payload})
+    path = save_tables(
+        result_name,
+        [table, facade_table],
+        extra={"measurements": payload, "facade_overhead": facade_payload},
+    )
     print(f"\nwrote {path}")
 
     failures = [n for n, row in payload.items() if row["speedup"] < MIN_SPEEDUP]
     if failures:
         print(f"FAIL: speedup below {MIN_SPEEDUP}x on {failures}", file=sys.stderr)
         return 1
-    print(f"OK: warm-index serving >= {MIN_SPEEDUP}x faster on all datasets")
+    facade_failures = [n for n, row in facade_payload.items() if not row["passed"]]
+    if facade_failures:
+        print(
+            f"FAIL: CommunityService facade overhead above "
+            f"{MAX_FACADE_OVERHEAD:.0%} on {facade_failures}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: warm-index serving >= {MIN_SPEEDUP}x faster on all datasets; "
+          f"service facade within {MAX_FACADE_OVERHEAD:.0%} of the bare engine")
     return 0
 
 

@@ -17,16 +17,26 @@ The package implements Profiled Community Search (PCS) end to end:
 * :mod:`repro.engine` — the batched query engine (:class:`CommunityExplorer`)
   with index reuse, a version-checked LRU result cache, thread-pool fan-out
   and mutation-safe serving (:class:`GraphUpdate` batches with incremental
-  index maintenance).
+  index maintenance);
+* :mod:`repro.api` — the unified public surface: :class:`Query` (fluent,
+  validated, serialisable requests), :class:`QueryResponse` (the JSON wire
+  envelope), :class:`QueryPlanner` (method selection) and
+  :class:`CommunityService` (the serving session every front end targets).
 
 Quickstart::
 
-    from repro import datasets, pcs
+    from repro import CommunityService, Query, datasets
 
     pg = datasets.fig1_profiled_graph()
+    service = CommunityService(pg)
+    response = service.query(Query.vertex("D").k(2))
+    for community in response:
+        print(list(community.vertices), list(community.theme))
+
+The one-shot functional entry point remains::
+
+    from repro import pcs
     result = pcs(pg, q="D", k=2)
-    for community in result:
-        print(sorted(community.vertices), sorted(community.subtree.names()))
 """
 
 from repro.version import __version__
@@ -54,6 +64,23 @@ def __getattr__(name: str):
             "QuerySpec": QuerySpec,
             "GraphUpdate": GraphUpdate,
         }[name]
+    if name in (
+        "Query",
+        "QueryBuilder",
+        "QueryResponse",
+        "CommunityView",
+        "CommunityService",
+        "QueryPlanner",
+        "PlanDecision",
+        "Engine",
+    ):
+        import repro.api as api
+
+        return getattr(api, name)
+    if name == "api":
+        import repro.api as api
+
+        return api
     if name == "datasets":
         import repro.datasets as datasets
 

@@ -1,0 +1,58 @@
+"""repro.api — the unified, serialisable public query surface.
+
+This package is the one supported way to talk to the system:
+
+* :class:`~repro.api.query.Query` / :class:`~repro.api.query.QueryBuilder`
+  — immutable, validated request objects with a canonical cache key and a
+  lossless JSON wire format
+  (``Query.vertex("D").k(6).method("adv-P").limit(10)``);
+* :class:`~repro.api.response.QueryResponse` /
+  :class:`~repro.api.response.CommunityView` — the serialisable result
+  envelope (communities + ranking/pagination/truncation metadata, timing,
+  cache/index provenance, graph version) shared by ``repro query --json``,
+  ``repro batch`` and the engine;
+* :class:`~repro.api.planner.QueryPlanner` /
+  :class:`~repro.api.planner.PlanDecision` — method selection for queries
+  that don't pin one, with the decision recorded in the response;
+* :class:`~repro.api.service.CommunityService` and its
+  :class:`~repro.api.service.Middleware` hooks — the serving session every
+  front end (CLI, benchmarks, future sharding/async layers) targets;
+* :class:`~repro.api.protocol.Engine` — the structural protocol an engine
+  must satisfy to be passed as ``pcs(..., engine=...)``.
+
+Imports are lazy: :mod:`repro.core.search` imports
+:mod:`repro.api.protocol` while the engine package (which ``service``
+needs) imports ``core.search`` back — an eager ``__init__`` would cycle.
+"""
+
+_EXPORTS = {
+    "Query": ("repro.api.query", "Query"),
+    "QueryBuilder": ("repro.api.query", "QueryBuilder"),
+    "QueryResponse": ("repro.api.response", "QueryResponse"),
+    "CommunityView": ("repro.api.response", "CommunityView"),
+    "API_VERSION": ("repro.api.response", "API_VERSION"),
+    "QueryPlanner": ("repro.api.planner", "QueryPlanner"),
+    "PlanDecision": ("repro.api.planner", "PlanDecision"),
+    "Engine": ("repro.api.protocol", "Engine"),
+    "CommunityService": ("repro.api.service", "CommunityService"),
+    "Middleware": ("repro.api.service", "Middleware"),
+    "ValidationMiddleware": ("repro.api.service", "ValidationMiddleware"),
+    "ResultLimitMiddleware": ("repro.api.service", "ResultLimitMiddleware"),
+    "MetricsMiddleware": ("repro.api.service", "MetricsMiddleware"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

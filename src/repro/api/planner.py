@@ -1,0 +1,141 @@
+"""The query planner: choose an execution method when the caller didn't.
+
+The paper's five algorithms (plus this library's ``closed`` extension) all
+return identical community sets; they differ only in work. Which one is
+cheapest depends on serving state the *caller* shouldn't have to know:
+
+==============================  =======================================
+situation                       plan
+==============================  =======================================
+caller pinned ``method``        honour it (``planned=False``)
+non-core cohesion, index warm   ``incre`` — the CP-tree's k-core pruning
+                                does not apply, so the adv-* border
+                                probes degrade to raw label scans; the
+                                index-backed Apriori sweep is the
+                                compatible subset's best
+non-core cohesion, index cold   ``basic`` — nothing to reuse, skip the
+                                index build entirely
+k-core, index warm              ``adv-P`` — the paper's fastest (§5.2)
+k-core, cold, one-shot          ``basic`` — a single query never
+                                amortises a CP-tree build
+k-core, cold, more to come      ``adv-P`` — build once, amortise
+==============================  =======================================
+
+Every decision is recorded as a :class:`PlanDecision` in the
+:class:`~repro.api.response.QueryResponse`, so clients can see *why* a
+method ran — and future planners (cost models, per-shard state) can evolve
+behind the same interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.query import Query, cohesion_name, normalize_method
+from repro.errors import InvalidInputError
+
+_DECISION_FIELDS = ("method", "reason", "planned")
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's (or caller's) verdict for one query.
+
+    ``planned`` is ``False`` when the caller pinned the method and the
+    planner merely validated it.
+    """
+
+    method: str
+    reason: str
+    planned: bool = True
+
+    def to_dict(self) -> dict:
+        return {"method": self.method, "reason": self.reason, "planned": self.planned}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlanDecision":
+        if not isinstance(payload, dict):
+            raise InvalidInputError(
+                f"PlanDecision.from_dict needs a mapping, got {payload!r}"
+            )
+        unknown = set(payload) - set(_DECISION_FIELDS)
+        if unknown:
+            raise InvalidInputError(f"unknown PlanDecision fields: {sorted(unknown)}")
+        if "method" not in payload:
+            raise InvalidInputError("PlanDecision payload needs a 'method' field")
+        return cls(
+            method=payload["method"],
+            reason=payload.get("reason", ""),
+            planned=payload.get("planned", True),
+        )
+
+
+class QueryPlanner:
+    """Pick the execution method for queries that don't pin one.
+
+    Cheap and effectively stateless — decisions depend only on the
+    query's ``(method, cohesion)`` and the serving state, never on the
+    vertex, so they are memoised per planner instance (immutable
+    :class:`PlanDecision` values are safe to share across threads).
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict = {}
+
+    def plan(
+        self, query: Query, index_ready: bool = False, one_shot: bool = False
+    ) -> PlanDecision:
+        """Decide how to execute ``query`` (see the module decision table).
+
+        Parameters
+        ----------
+        query:
+            The request; ``query.method`` of ``None`` engages the planner.
+        index_ready:
+            Whether the serving graph's CP-tree is already built.
+        one_shot:
+            Caller hint that no further queries will share this session's
+            index (e.g. a single CLI invocation on a cold graph).
+        """
+        cohesion = cohesion_name(query.cohesion)
+        key = (query.method, cohesion, index_ready, one_shot)
+        memoised = self._memo.get(key)
+        if memoised is not None:
+            return memoised
+        decision = self._decide(query.method, cohesion, index_ready, one_shot)
+        self._memo[key] = decision
+        return decision
+
+    def _decide(
+        self, method, cohesion: str, index_ready: bool, one_shot: bool
+    ) -> PlanDecision:
+        if method is not None:
+            return PlanDecision(
+                method=normalize_method(method),
+                reason="caller pinned the method",
+                planned=False,
+            )
+        if cohesion != "k-core":
+            if index_ready:
+                return PlanDecision(
+                    method="incre",
+                    reason=(
+                        "non-core cohesion cannot use the index's k-core pruning; "
+                        "warm index still serves label candidates to the Apriori sweep"
+                    ),
+                )
+            return PlanDecision(
+                method="basic",
+                reason="non-core cohesion on a cold graph: skip the index build",
+            )
+        if index_ready:
+            return PlanDecision(method="adv-P", reason="warm index: paper's fastest method")
+        if one_shot:
+            return PlanDecision(
+                method="basic",
+                reason="cold one-shot query: an index build would not amortise",
+            )
+        return PlanDecision(
+            method="adv-P",
+            reason="cold session with more queries expected: build the index once",
+        )

@@ -1,0 +1,284 @@
+"""The :class:`CommunityService` session — the serving substrate of the API.
+
+The service is the one object every front end (CLI, benchmarks, future
+sharding/async/remote layers) talks to. It owns a
+:class:`~repro.engine.explorer.CommunityExplorer`, runs every request
+through a middleware chain, lets the :class:`~repro.api.planner.QueryPlanner`
+pick an execution method when the caller didn't, and answers with
+:class:`~repro.api.response.QueryResponse` envelopes::
+
+    service = CommunityService(pg)
+    response = service.query(Query.vertex("D").k(2))
+    payload = response.to_dict()          # wire-ready
+
+Middleware hooks are ``(query) -> query`` / ``(query, response) -> response``
+transformations (see :class:`Middleware`). The built-ins cover validation,
+metrics and result-limit enforcement; sharding or auth layers slot in the
+same way. The hot path is deliberately thin — coerce, plan, one explorer
+call, one envelope build — so routing traffic through the service costs a
+few percent over the bare engine (checked by the facade-overhead benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Sequence, Union
+
+from repro.api.planner import PlanDecision, QueryPlanner
+from repro.api.query import Query, QueryBuilder
+from repro.api.response import QueryResponse
+from repro.core.profiled_graph import ProfiledGraph
+from repro.engine.explorer import DEFAULT_K, DEFAULT_METHOD, CommunityExplorer, EngineStats
+from repro.engine.updates import UpdateReceipt
+from repro.errors import InvalidInputError, VertexNotFoundError
+
+Vertex = Hashable
+QueryLike = Union[Query, QueryBuilder, Vertex, tuple, dict]
+
+
+class Middleware:
+    """Base class for service middleware (both hooks optional).
+
+    ``before`` may replace the query (return a new :class:`Query`) or veto
+    it (raise); ``after`` may replace the response. Returning ``None``
+    keeps the current value. Hooks run in registration order on the way
+    in and reverse order on the way out.
+    """
+
+    def before(self, query: Query, service: "CommunityService") -> Optional[Query]:
+        return None
+
+    def after(
+        self, query: Query, response: QueryResponse, service: "CommunityService"
+    ) -> Optional[QueryResponse]:
+        return None
+
+
+class ValidationMiddleware(Middleware):
+    """Reject queries whose vertex is not in the served graph.
+
+    The engine validates too; doing it here fails a request before any
+    planning happens and gives batch callers per-item errors up front.
+    """
+
+    def before(self, query: Query, service: "CommunityService") -> Optional[Query]:
+        if query.vertex not in service.pg:
+            raise VertexNotFoundError(query.vertex)
+        return None
+
+
+class ResultLimitMiddleware(Middleware):
+    """Clamp every query's ``limit`` to a service-wide maximum."""
+
+    def __init__(self, max_limit: int) -> None:
+        if max_limit < 1:
+            raise InvalidInputError(f"max_limit must be >= 1, got {max_limit}")
+        self.max_limit = max_limit
+
+    def before(self, query: Query, service: "CommunityService") -> Optional[Query]:
+        if query.limit is None or query.limit > self.max_limit:
+            return query.replace(limit=self.max_limit)
+        return None
+
+
+class MetricsMiddleware(Middleware):
+    """Aggregate per-response serving metrics (a demo observability hook)."""
+
+    def __init__(self) -> None:
+        self.responses = 0
+        self.communities_returned = 0
+        self.cache_hits = 0
+        self.elapsed_ms = 0.0
+
+    def after(
+        self, query: Query, response: QueryResponse, service: "CommunityService"
+    ) -> Optional[QueryResponse]:
+        self.responses += 1
+        self.communities_returned += response.returned
+        self.cache_hits += 1 if response.cache_hit else 0
+        self.elapsed_ms += response.elapsed_ms
+        return None
+
+
+class CommunityService:
+    """A serving session: explorer + planner + middleware behind one door.
+
+    Parameters
+    ----------
+    pg:
+        The graph to serve, or an existing
+        :class:`~repro.engine.explorer.CommunityExplorer` to adopt (its
+        cache/index state is kept; the engine-construction knobs below are
+        then ignored).
+    planner:
+        Method-selection strategy for queries with ``method=None``
+        (default: a shared :class:`~repro.api.planner.QueryPlanner`).
+    middleware:
+        Hook chain; default ``(ValidationMiddleware(),)``. Pass ``()`` to
+        disable.
+    max_limit:
+        When set, appends a :class:`ResultLimitMiddleware` clamping every
+        response to at most this many communities.
+    one_shot:
+        Planner hint: this session will serve roughly one query, so a cold
+        graph should not pay an index build (used by ``repro query``).
+    cache_size, max_workers, default_k, default_method, default_cohesion:
+        Forwarded to the explorer when ``pg`` is a graph.
+
+    Examples
+    --------
+    >>> from repro.datasets import fig1_profiled_graph
+    >>> service = CommunityService(fig1_profiled_graph(), default_k=2)
+    >>> response = service.query("D")
+    >>> response.returned, response.method
+    (2, 'adv-P')
+    """
+
+    def __init__(
+        self,
+        pg: Union[ProfiledGraph, CommunityExplorer],
+        planner: Optional[QueryPlanner] = None,
+        middleware: Optional[Sequence[Middleware]] = None,
+        max_limit: Optional[int] = None,
+        one_shot: bool = False,
+        cache_size: Optional[int] = 1024,
+        max_workers: Optional[int] = None,
+        default_k: int = DEFAULT_K,
+        default_method: str = DEFAULT_METHOD,
+        default_cohesion: Optional[str] = None,
+    ) -> None:
+        if isinstance(pg, CommunityExplorer):
+            self._explorer = pg
+        elif isinstance(pg, ProfiledGraph):
+            self._explorer = CommunityExplorer(
+                pg,
+                cache_size=cache_size,
+                max_workers=max_workers,
+                default_k=default_k,
+                default_method=default_method,
+                default_cohesion=default_cohesion,
+            )
+        else:
+            raise InvalidInputError(
+                f"CommunityService needs a ProfiledGraph or CommunityExplorer, "
+                f"got {type(pg).__name__}"
+            )
+        self.planner = planner or QueryPlanner()
+        self.one_shot = one_shot
+        chain = list(middleware) if middleware is not None else [ValidationMiddleware()]
+        if max_limit is not None:
+            chain.append(ResultLimitMiddleware(max_limit))
+        self.middleware: List[Middleware] = chain
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    @property
+    def pg(self) -> ProfiledGraph:
+        return self._explorer.pg
+
+    @property
+    def explorer(self) -> CommunityExplorer:
+        """The underlying engine (index + cache owner)."""
+        return self._explorer
+
+    def cache_key(self, query: QueryLike) -> tuple:
+        """The engine's fully-resolved cache key for ``query``.
+
+        Unlike :meth:`Query.cache_key` (which resolves against the paper
+        defaults), this resolves against *this session's* defaults — it is
+        exactly the key the underlying explorer caches and dedups on.
+        """
+        return self._explorer.resolve_key(Query.coerce(query).to_spec())
+
+    def plan(self, query: QueryLike) -> PlanDecision:
+        """The planner's verdict for ``query`` under current serving state."""
+        return self.planner.plan(
+            Query.coerce(query),
+            index_ready=self._explorer.index_ready,
+            one_shot=self.one_shot,
+        )
+
+    def _prepare(self, item: QueryLike) -> tuple:
+        """Coerce + middleware-before + plan: ``(executable_query, plan)``."""
+        query = Query.coerce(item)
+        for hook in self.middleware:
+            replacement = hook.before(query, self)
+            if replacement is not None:
+                query = replacement
+        plan = self.planner.plan(
+            query, index_ready=self._explorer.index_ready, one_shot=self.one_shot
+        )
+        if query.method != plan.method:
+            query = query.replace(method=plan.method)
+        return query, plan
+
+    def _finish(self, query: Query, response: QueryResponse) -> QueryResponse:
+        for hook in reversed(self.middleware):
+            replacement = hook.after(query, response, self)
+            if replacement is not None:
+                response = replacement
+        return response
+
+    def query(self, item: QueryLike, **overrides) -> QueryResponse:
+        """Serve one request; keyword overrides patch the coerced query.
+
+        ``service.query("D", k=2, limit=5)`` is shorthand for
+        ``service.query(Query.vertex("D").k(2).limit(5))``.
+        """
+        query = Query.coerce(item)
+        if overrides:
+            query = query.replace(**overrides)
+        query, plan = self._prepare(query)
+        response = self._explorer.explore_query(query, plan=plan)
+        return self._finish(query, response)
+
+    def batch(
+        self, items: Iterable[QueryLike], workers: Optional[int] = None
+    ) -> List[QueryResponse]:
+        """Serve many requests; responses align with the input order.
+
+        Execution goes through the engine's
+        :meth:`~repro.engine.explorer.CommunityExplorer.explore_many` —
+        batch-level validation, in-batch dedup and optional thread fan-out
+        are preserved. ``cache_hit`` provenance reflects the cache state at
+        batch start (in-batch duplicates of a miss all report a miss).
+        """
+        prepared = [self._prepare(item) for item in items]
+        specs = [query.to_spec() for query, _ in prepared]
+        results, hits = self._explorer.serve_batch(specs, workers=workers)
+        version = self.pg.version
+        responses = []
+        for (query, plan), spec, hit, result in zip(prepared, specs, hits, results):
+            response = QueryResponse.from_result(
+                result,
+                query,
+                cache_hit=hit,
+                index_used=self._explorer.method_uses_index(result.method),
+                graph_version=version,
+                plan=plan,
+            )
+            responses.append(self._finish(query, response))
+        return responses
+
+    # ------------------------------------------------------------------
+    # session management (delegates)
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: Iterable, repair: bool = True) -> UpdateReceipt:
+        """Apply graph edits through the engine's mutation pipeline."""
+        return self._explorer.apply_updates(updates, repair=repair)
+
+    def warm(self) -> float:
+        """Eagerly build the index; returns seconds spent."""
+        return self._explorer.warm()
+
+    def stats(self) -> EngineStats:
+        return self._explorer.stats()
+
+    def clear_cache(self) -> None:
+        self._explorer.clear_cache()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CommunityService({self._explorer!r}, "
+            f"middleware={[type(m).__name__ for m in self.middleware]})"
+        )

@@ -17,6 +17,7 @@ from repro.core.profiled_graph import ProfiledGraph
 from repro.graph.generators import random_queries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.service import CommunityService
     from repro.engine.explorer import CommunityExplorer
     from repro.engine.updates import GraphUpdate
 
@@ -185,6 +186,96 @@ class ColdWarmReport:
             "speedup": self.speedup,
             "throughput": self.throughput.to_dict(),
         }
+
+
+def run_service_throughput(
+    service: "CommunityService",
+    workload: Workload,
+    method: str = "adv-P",
+    repeat_factor: int = 1,
+    workers: Optional[int] = None,
+) -> ThroughputReport:
+    """:func:`run_throughput`, but routed through a :class:`CommunityService`.
+
+    Same workload shape, same delta-measured counters — the only difference
+    is the facade: queries travel as :class:`repro.api.Query` objects
+    through the middleware/planner/envelope pipeline instead of as bare
+    specs. Comparing this against :func:`run_throughput` on the same
+    workload isolates the facade's overhead.
+    """
+    from repro.api.query import Query
+
+    if repeat_factor < 1:
+        raise ValueError(f"repeat_factor must be >= 1, got {repeat_factor}")
+    queries = [
+        Query(vertex=q, k=workload.k, method=method) for q in workload.queries
+    ]
+    explorer = service.explorer
+    before = explorer.stats()
+    start = time.perf_counter()
+    for _ in range(repeat_factor):
+        service.batch(queries, workers=workers)
+    elapsed = time.perf_counter() - start
+    after = explorer.stats()
+    return ThroughputReport(
+        dataset=workload.dataset,
+        method=method,
+        k=workload.k,
+        queries=len(queries) * repeat_factor,
+        executed=after.queries_served - before.queries_served,
+        elapsed_seconds=elapsed,
+        cache_hits=after.cache.hits - before.cache.hits,
+        cache_misses=after.cache.misses - before.cache.misses,
+        workers=workers,
+    )
+
+
+def measure_facade_overhead(
+    pg: ProfiledGraph,
+    workload: Workload,
+    method: str = "adv-P",
+    repeat_factor: int = 1,
+    workers: Optional[int] = None,
+) -> dict:
+    """Service-vs-engine serving rate on one workload (facade overhead).
+
+    Runs the identical workload twice against separately warmed sessions —
+    once through bare :meth:`CommunityExplorer.explore_many`, once through
+    :meth:`CommunityService.batch` — and reports the relative per-query
+    overhead of the facade (envelope construction, planner, middleware).
+    Each pass replays the workload ``repeat_factor`` times, so cache-hit
+    serving (the steady state the facade must not slow down) dominates.
+    """
+    from repro.api.service import CommunityService
+    from repro.engine.explorer import CommunityExplorer
+
+    explorer = CommunityExplorer(pg, max_workers=workers)
+    explorer.warm()
+    engine_report = run_throughput(
+        explorer, workload, method=method, repeat_factor=repeat_factor, workers=workers
+    )
+
+    service = CommunityService(CommunityExplorer(pg, max_workers=workers))
+    service.warm()
+    service_report = run_service_throughput(
+        service, workload, method=method, repeat_factor=repeat_factor, workers=workers
+    )
+
+    engine_s = engine_report.elapsed_seconds / max(1, engine_report.queries)
+    service_s = service_report.elapsed_seconds / max(1, service_report.queries)
+    overhead = (service_s - engine_s) / engine_s if engine_s > 0 else 0.0
+    return {
+        "dataset": workload.dataset,
+        "method": method,
+        "k": workload.k,
+        "engine_ms_per_query": engine_s * 1000.0,
+        "service_ms_per_query": service_s * 1000.0,
+        "engine_queries_per_second": engine_report.queries_per_second,
+        "service_queries_per_second": service_report.queries_per_second,
+        "overhead_fraction": overhead,
+        "engine": engine_report.to_dict(),
+        "service": service_report.to_dict(),
+    }
 
 
 # ----------------------------------------------------------------------

@@ -1,10 +1,19 @@
 """Command-line interface: run PCS queries and dataset utilities.
 
+Every command serves traffic through :class:`repro.api.CommunityService`,
+so the CLI, the benchmarks and library callers share one code path and one
+wire format (the :class:`repro.api.QueryResponse` envelope).
+
 Examples
 --------
-Query the paper's Fig. 1 example::
+Query the paper's Fig. 1 example (``--method auto`` is the default: the
+query planner picks the execution method and records why)::
 
     python -m repro query --dataset fig1 --query D --k 2
+
+The same query as a machine-readable envelope, paginated::
+
+    python -m repro query --dataset fig1 --query D --k 2 --json --limit 5 --min-size 3
 
 Query a synthetic dataset analogue (generated on the fly)::
 
@@ -39,7 +48,8 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core import ALL_METHODS, PCS_METHODS, pcs
+from repro.api import CommunityService, Query
+from repro.core import ALL_METHODS
 from repro.core.profiled_graph import ProfiledGraph
 from repro.datasets import (
     dataset_names,
@@ -49,12 +59,10 @@ from repro.datasets import (
     save_profiled_graph,
 )
 from repro.engine import (
-    CommunityExplorer,
-    coerce_spec_vertices,
+    coerce_query_vertices,
     coerce_update_vertices,
-    load_query_file,
+    load_queries,
     load_update_file,
-    result_to_dict,
 )
 from repro.graph.generators import random_queries
 
@@ -77,6 +85,11 @@ def _coerce_vertex(pg: ProfiledGraph, token: str):
     return as_int if as_int in pg else token
 
 
+def _method_arg(method: Optional[str]) -> Optional[str]:
+    """``--method auto`` means "let the planner decide" (``None``)."""
+    return None if method in (None, "auto") else method
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     pg = _load(args)
     if args.query is None:
@@ -84,13 +97,34 @@ def cmd_query(args: argparse.Namespace) -> int:
         if not candidates:
             print("no query vertex available in the k-core", file=sys.stderr)
             return 1
-        query = candidates[0]
-        print(f"(no --query given; picked {query!r} from the {args.k}-core)")
+        vertex = candidates[0]
+        if not args.json:
+            print(f"(no --query given; picked {vertex!r} from the {args.k}-core)")
     else:
-        query = _coerce_vertex(pg, args.query)
-    result = pcs(pg, query, args.k, method=args.method)
+        vertex = _coerce_vertex(pg, args.query)
+    service = CommunityService(pg, one_shot=True)
+    query = Query(
+        vertex=vertex,
+        k=args.k,
+        method=_method_arg(args.method),
+        limit=args.limit,
+        min_size=args.min_size,
+    )
+    response = service.query(query)
+    if args.json:
+        print(json.dumps(response.to_dict(), indent=2))
+        return 0
+    result = response.result
     print(result.summary())
-    for i, community in enumerate(result, start=1):
+    if response.plan is not None and response.plan.planned:
+        print(f"(planner chose {response.plan.method}: {response.plan.reason})")
+    if response.matched < response.total_communities:
+        print(f"({response.total_communities - response.matched} communities "
+              f"below --min-size {response.query.min_size} hidden)")
+    if response.truncated:
+        print(f"(showing first {response.returned} of {response.matched} "
+              f"communities; raise --limit for more)")
+    for i, community in enumerate(response.page(), start=1):
         print(f"\nPC{i}: {sorted(map(str, community.vertices))}")
         print(community.subtree.pretty(indent="  "))
     return 0
@@ -117,18 +151,20 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 def cmd_batch(args: argparse.Namespace) -> int:
     pg = _load(args)
-    specs = load_query_file(args.queries, default_k=args.k, default_method=args.method)
-    if not specs:
+    queries = load_queries(
+        args.queries, default_k=args.k, default_method=_method_arg(args.method)
+    )
+    if not queries:
         print(f"no queries found in {args.queries}", file=sys.stderr)
         return 1
-    specs = coerce_spec_vertices(pg, specs)
-    explorer = CommunityExplorer(pg, max_workers=args.workers)
-    results = explorer.explore_many(specs)
-    stats = explorer.stats()
+    queries = coerce_query_vertices(pg, queries)
+    service = CommunityService(pg, max_workers=args.workers, max_limit=args.limit)
+    responses = service.batch(queries)
+    stats = service.stats()
     payload = {
         "dataset": args.dataset,
-        "num_queries": len(specs),
-        "results": [result_to_dict(r) for r in results],
+        "num_queries": len(queries),
+        "results": [r.to_dict() for r in responses],
         "engine": {
             "queries_served": stats.queries_served,
             "cache_hits": stats.cache.hits,
@@ -142,7 +178,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
-        print(f"wrote {args.out} ({len(specs)} queries)")
+        print(f"wrote {args.out} ({len(queries)} queries)")
     else:
         print(text)
     return 0
@@ -155,17 +191,16 @@ def cmd_update(args: argparse.Namespace) -> int:
         print(f"no edits found in {args.edits}", file=sys.stderr)
         return 1
     updates = coerce_update_vertices(pg, updates)
-    explorer = CommunityExplorer(pg)
+    service = CommunityService(pg)
+    method = _method_arg(args.method)
     if not args.no_warm:
-        explorer.warm()  # exercise the incremental-repair path, not a rebuild
+        service.warm()  # exercise the incremental-repair path, not a rebuild
         if args.query is not None:
             # Pre-query so the stats demonstrate cache invalidation. Skipped
             # under --no-warm: an indexed pre-query would eagerly build the
             # full index, defeating the flag.
-            explorer.explore(
-                _coerce_vertex(pg, args.query), k=args.k, method=args.method
-            )
-    receipt = explorer.apply_updates(updates)
+            service.query(_coerce_vertex(pg, args.query), k=args.k, method=method)
+    receipt = service.apply_updates(updates)
     payload = {
         "dataset": args.dataset,
         "receipt": receipt.to_dict(),
@@ -175,11 +210,11 @@ def cmd_update(args: argparse.Namespace) -> int:
         query = _coerce_vertex(pg, args.query)
         if query in pg:
             # The re-query is what detects (and counts) the stale entry.
-            result = explorer.explore(query, k=args.k, method=args.method)
-            payload["query"] = result_to_dict(result)
+            response = service.query(query, k=args.k, method=method)
+            payload["query"] = response.to_dict()
         else:
             payload["query"] = {"query": str(query), "error": "vertex removed"}
-    stats = explorer.stats()
+    stats = service.stats()
     payload["engine"] = {
         "updates_applied": stats.updates_applied,
         "maintenance_seconds": stats.maintenance_seconds,
@@ -196,7 +231,7 @@ def cmd_update(args: argparse.Namespace) -> int:
     print(f"graph              : n={pg.num_vertices}, m={pg.num_edges}")
     if "query" in payload and "error" not in payload["query"]:
         print(f"\nre-query {args.query!r}: "
-              f"{payload['query']['num_communities']} communities")
+              f"{payload['query']['returned']} communities")
     if args.out:
         text = json.dumps(payload, indent=2)
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -206,7 +241,7 @@ def cmd_update(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_engine(args: argparse.Namespace) -> int:
-    from repro.bench import make_workload, measure_cold_warm
+    from repro.bench import make_workload, measure_cold_warm, measure_facade_overhead
 
     pg = _load(args)
     workload = make_workload(
@@ -235,8 +270,19 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     print(f"throughput         : {throughput.queries_per_second:.1f} queries/sec")
     print(f"cache hit rate     : {throughput.cache_hit_rate:.2%}")
     print(f"speedup (cold/warm): {report.speedup:.1f}x")
+    facade = None
+    if args.facade:
+        facade = measure_facade_overhead(
+            pg, workload, method=args.method, repeat_factor=args.repeat,
+            workers=args.workers,
+        )
+        print(f"facade (service)   : {facade['service_ms_per_query']:.3f} ms/query "
+              f"vs engine {facade['engine_ms_per_query']:.3f} ms/query "
+              f"({facade['overhead_fraction']:+.1%} overhead)")
     if args.out:
         payload = {"dataset": args.dataset, **report.to_dict()}
+        if facade is not None:
+            payload["facade_overhead"] = facade
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
@@ -260,11 +306,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.01, help="generation scale")
         p.add_argument("--seed", type=int, default=20190116)
 
+    method_choices = ("auto",) + ALL_METHODS
+
     q = sub.add_parser("query", help="run a PCS query")
     add_dataset_args(q)
     q.add_argument("--query", help="query vertex (default: sampled from the k-core)")
     q.add_argument("--k", type=int, default=6, help="minimum degree (default 6)")
-    q.add_argument("--method", default="adv-P", choices=PCS_METHODS)
+    q.add_argument("--method", default="auto", choices=method_choices,
+                   help="execution method (auto = query planner decides)")
+    q.add_argument("--json", action="store_true",
+                   help="emit the full QueryResponse envelope as JSON")
+    q.add_argument("--limit", type=int, default=None,
+                   help="return at most this many communities")
+    q.add_argument("--min-size", type=int, default=1, dest="min_size",
+                   help="hide communities smaller than this (default 1)")
     q.set_defaults(func=cmd_query)
 
     s = sub.add_parser("stats", help="show Table-2 statistics of a dataset")
@@ -280,7 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(b)
     b.add_argument("--queries", required=True, help="query file (text/JSON/JSONL)")
     b.add_argument("--k", type=int, default=6, help="default k for bare vertices")
-    b.add_argument("--method", default="adv-P", choices=ALL_METHODS)
+    b.add_argument("--method", default="adv-P", choices=method_choices,
+                   help="default method for queries that don't pin one "
+                        "(auto = query planner decides)")
+    b.add_argument("--limit", type=int, default=None,
+                   help="cap communities per response (service max_limit)")
     b.add_argument("--workers", type=int, default=None, help="thread-pool width")
     b.add_argument("--out", help="write JSON here instead of stdout")
     b.set_defaults(func=cmd_batch)
@@ -307,6 +366,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="queries timed with per-query index rebuild")
     be.add_argument("--repeat", type=int, default=2,
                     help="times the workload is replayed through the cache")
+    be.add_argument("--facade", action="store_true",
+                    help="also measure CommunityService overhead vs the bare engine")
     be.add_argument("--workers", type=int, default=None)
     be.add_argument("--out", help="write a JSON report here")
     be.set_defaults(func=cmd_bench_engine)

@@ -9,8 +9,10 @@ fastest method — is the default.
 
 from __future__ import annotations
 
+import warnings
 from typing import Hashable, Optional
 
+from repro.api.protocol import Engine
 from repro.core.advanced import advanced_query
 from repro.core.basic import basic_query
 from repro.core.closed import closed_query
@@ -30,6 +32,31 @@ PCS_METHODS = ("basic", "incre", "adv-I", "adv-D", "adv-P")
 #: closure-jumping extension (see repro.core.closed).
 ALL_METHODS = PCS_METHODS + ("closed",)
 
+#: Every accepted spelling of a method name -> its canonical casing. Seeded
+#: with the canonical spellings; other casings are memoised on first use
+#: (the set of spellings seen in one process is tiny and error inputs are
+#: never cached).
+_METHOD_SPELLINGS = {m: m for m in ALL_METHODS}
+
+
+def normalize_method(method: str) -> str:
+    """Canonical casing for a method name (raises on unknown methods).
+
+    The single canonicalisation point shared by :func:`pcs`, the engine and
+    :class:`repro.api.Query` — one spelling table, one error message.
+    """
+    known = _METHOD_SPELLINGS.get(method)
+    if known is not None:
+        return known
+    name = method.lower()
+    for known in ALL_METHODS:
+        if known.lower() == name:
+            _METHOD_SPELLINGS[method] = known
+            return known
+    raise InvalidInputError(
+        f"unknown PCS method {method!r}; expected one of {ALL_METHODS}"
+    )
+
 
 def pcs(
     pg: ProfiledGraph,
@@ -38,7 +65,7 @@ def pcs(
     method: str = "adv-P",
     index: Optional[CPTree] = None,
     cohesion: CohesionModel = None,
-    engine: object = None,
+    engine: Optional[Engine] = None,
 ) -> PCSResult:
     """Profiled community search: all PCs of query vertex ``q`` (Problem 1).
 
@@ -60,11 +87,15 @@ def pcs(
         Optional alternative structure model (``"k-truss"``, ``"k-clique"``
         or a :class:`~repro.core.cohesion.CohesionModel` instance).
     engine:
-        Optional :class:`~repro.engine.explorer.CommunityExplorer`. When
-        given, the query is served through the engine — its cached indexes
-        and LRU result cache — instead of dispatching directly; the engine
-        must wrap ``pg`` (checked). ``index`` is ignored on this path (the
-        engine owns index lifetime).
+        Optional :class:`~repro.api.protocol.Engine` (canonically a
+        :class:`~repro.engine.explorer.CommunityExplorer`). When given, the
+        query is served through the engine — its cached indexes and LRU
+        result cache — instead of dispatching directly; the engine must
+        wrap ``pg`` (checked). ``index`` is ignored on this path (the
+        engine owns index lifetime). Objects that merely duck-type the
+        protocol are still accepted for one release with a
+        ``DeprecationWarning``; objects that don't even expose ``explore``
+        are rejected outright.
 
     Returns
     -------
@@ -83,13 +114,28 @@ def pcs(
         raise InvalidInputError(f"k must be non-negative, got {k}")
     if engine is not None:
         # Engine-aware path: serve through the session's index + result
-        # cache. Duck-typed to avoid a core -> engine import cycle.
+        # cache. The structural Engine protocol replaces the old blind
+        # duck-typing; near-misses get a one-release deprecation shim.
+        if not isinstance(engine, Engine):
+            if not callable(getattr(engine, "explore", None)):
+                raise InvalidInputError(
+                    f"engine {engine!r} does not implement the repro.api.Engine "
+                    "protocol (no explore() method)"
+                )
+            warnings.warn(
+                "passing an object that does not implement the repro.api.Engine "
+                "protocol as pcs(engine=...) is deprecated and will become an "
+                "error; implement pg/explore/explore_many/stats "
+                f"(got {type(engine).__name__})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if getattr(engine, "pg", None) is not pg:
             raise InvalidInputError(
                 "engine serves a different ProfiledGraph than the one passed to pcs()"
             )
         return engine.explore(q, k, method=method, cohesion=cohesion)
-    name = method.lower()
+    name = normalize_method(method).lower()
     if name == "basic":
         return basic_query(pg, q, k, cohesion=cohesion)
     if name == "incre":
@@ -98,10 +144,7 @@ def pcs(
         return advanced_query(
             pg, q, k, find=name[-1].upper(), index=index, cohesion=cohesion
         )
-    if name == "closed":
-        if index is None:
-            index = pg.index()
-        return closed_query(pg, q, k, index=index, cohesion=cohesion)
-    raise InvalidInputError(
-        f"unknown PCS method {method!r}; expected one of {ALL_METHODS}"
-    )
+    # normalize_method makes the remaining case exhaustive.
+    if index is None:
+        index = pg.index()
+    return closed_query(pg, q, k, index=index, cohesion=cohesion)

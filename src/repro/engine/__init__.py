@@ -1,8 +1,11 @@
 """Batched query engine with index reuse (the online-serving layer)."""
 
 from repro.engine.batchfile import (
+    coerce_query_vertices,
     coerce_spec_vertices,
+    load_queries,
     load_query_file,
+    parse_queries,
     parse_query_text,
     result_to_dict,
 )
@@ -38,6 +41,9 @@ __all__ = [
     "load_update_file",
     "parse_update_text",
     "coerce_update_vertices",
+    "load_queries",
+    "parse_queries",
+    "coerce_query_vertices",
     "load_query_file",
     "parse_query_text",
     "coerce_spec_vertices",

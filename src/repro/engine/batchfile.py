@@ -4,8 +4,8 @@
 per file:
 
 * **JSON** — a top-level list whose items are vertices, ``[q, k]``-style
-  arrays, or ``{"q": ..., "k": ..., "method": ..., "cohesion": ...}``
-  objects;
+  arrays, or ``{"q": ..., "k": ..., "method": ..., "cohesion": ...,
+  "limit": ..., "min_size": ...}`` objects (unknown keys are rejected);
 * **JSON lines** — one such item per line;
 * **plain text** — one query vertex per line (``#`` comments allowed), all
   sharing the CLI-level ``--k``/``--method`` defaults.
@@ -16,15 +16,22 @@ whole-file list form — so a file whose entire content is ``["E", 3]`` means
 object line (``{"q": "E", "k": 3}``) for a single parametrised query;
 ``[q, k]``-style array lines are only distinguishable in multi-line files.
 
-Results serialise to plain dicts (no custom JSON encoder needed downstream).
+Parsing targets :class:`repro.api.Query` (:func:`parse_queries` /
+:func:`load_queries`); the :class:`~repro.engine.explorer.QuerySpec`
+variants (:func:`parse_query_text` / :func:`load_query_file`) remain as
+thin conversions for pre-``repro.api`` callers but drop the ``limit`` /
+``min_size`` post-filter fields. Results serialise to plain dicts via the
+:class:`repro.api.QueryResponse` envelope (or the legacy
+:func:`result_to_dict`) — no custom JSON encoder needed downstream.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Hashable, List, Union
+from typing import Hashable, List, Optional, Union
 
+from repro.api.query import Query
 from repro.core.community import PCSResult
 from repro.core.profiled_graph import ProfiledGraph
 from repro.engine.explorer import QuerySpec
@@ -33,16 +40,16 @@ from repro.errors import InvalidInputError
 Vertex = Hashable
 
 
-def _coerce_item(item: object) -> QuerySpec:
+def _coerce_item(item: object) -> Query:
     if isinstance(item, list):
         item = tuple(item)
-    return QuerySpec.coerce(item)
+    return Query.coerce(item)
 
 
-def parse_query_text(
-    text: str, default_k: int = 6, default_method: str = None
-) -> List[QuerySpec]:
-    """Parse query-file contents into :class:`QuerySpec` items."""
+def parse_queries(
+    text: str, default_k: int = 6, default_method: Optional[str] = None
+) -> List[Query]:
+    """Parse query-file contents into :class:`repro.api.Query` items."""
     stripped = text.strip()
     if not stripped:
         return []
@@ -60,7 +67,7 @@ def parse_query_text(
             return [
                 _with_defaults(_coerce_item(i), default_k, default_method) for i in items
             ]
-    specs: List[QuerySpec] = []
+    queries: List[Query] = []
     for lineno, line in enumerate(stripped.splitlines(), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -72,48 +79,76 @@ def parse_query_text(
                 raise InvalidInputError(
                     f"query file line {lineno} is not valid JSON: {exc}"
                 ) from exc
-            specs.append(_with_defaults(_coerce_item(item), default_k, default_method))
+            queries.append(_with_defaults(_coerce_item(item), default_k, default_method))
         else:
-            specs.append(QuerySpec(q=line, k=default_k, method=default_method))
-    return specs
+            queries.append(Query(vertex=line, k=default_k, method=default_method))
+    return queries
 
 
-def _with_defaults(spec: QuerySpec, default_k: int, default_method: str) -> QuerySpec:
-    """Fill CLI-level defaults into specs parsed from bare vertices."""
-    k = spec.k if spec.k is not None else default_k
-    method = spec.method if spec.method is not None else default_method
-    if k == spec.k and method == spec.method:
-        return spec
-    return QuerySpec(q=spec.q, k=k, method=method, cohesion=spec.cohesion)
+def _with_defaults(query: Query, default_k: int, default_method: Optional[str]) -> Query:
+    """Fill CLI-level defaults into queries parsed from bare vertices."""
+    changes = {}
+    if query.k is None and default_k is not None:
+        changes["k"] = default_k
+    if query.method is None and default_method is not None:
+        changes["method"] = default_method
+    return query.replace(**changes) if changes else query
 
 
-def load_query_file(
-    path: Union[str, Path], default_k: int = 6, default_method: str = None
-) -> List[QuerySpec]:
+def load_queries(
+    path: Union[str, Path], default_k: int = 6, default_method: Optional[str] = None
+) -> List[Query]:
     """Read and parse a query file (see module docstring for formats)."""
-    return parse_query_text(
+    return parse_queries(
         Path(path).read_text(encoding="utf-8"),
         default_k=default_k,
         default_method=default_method,
     )
 
 
-def coerce_spec_vertices(pg: ProfiledGraph, specs: List[QuerySpec]) -> List[QuerySpec]:
+def parse_query_text(
+    text: str, default_k: int = 6, default_method: str = None
+) -> List[QuerySpec]:
+    """Legacy form of :func:`parse_queries` returning ``QuerySpec`` items."""
+    return [q.to_spec() for q in parse_queries(text, default_k, default_method)]
+
+
+def load_query_file(
+    path: Union[str, Path], default_k: int = 6, default_method: str = None
+) -> List[QuerySpec]:
+    """Legacy form of :func:`load_queries` returning ``QuerySpec`` items."""
+    return [q.to_spec() for q in load_queries(path, default_k, default_method)]
+
+
+def _retype_vertex(pg: ProfiledGraph, q: Vertex) -> Vertex:
+    if isinstance(q, str) and q not in pg:
+        try:
+            as_int = int(q)
+        except ValueError:
+            return q
+        if as_int in pg:
+            return as_int
+    return q
+
+
+def coerce_query_vertices(pg: ProfiledGraph, queries: List[Query]) -> List[Query]:
     """Re-type string vertices as ints where the graph uses int vertices.
 
     Text formats cannot distinguish ``"3"`` from ``3``; mirror the single-
     query CLI's coercion so batch files work on integer-vertex datasets.
     """
+    out: List[Query] = []
+    for query in queries:
+        q = _retype_vertex(pg, query.vertex)
+        out.append(query if q is query.vertex else query.replace(vertex=q))
+    return out
+
+
+def coerce_spec_vertices(pg: ProfiledGraph, specs: List[QuerySpec]) -> List[QuerySpec]:
+    """:func:`coerce_query_vertices` for legacy ``QuerySpec`` batches."""
     out: List[QuerySpec] = []
     for spec in specs:
-        q = spec.q
-        if isinstance(q, str) and q not in pg:
-            try:
-                as_int = int(q)
-            except ValueError:
-                as_int = None
-            if as_int is not None and as_int in pg:
-                q = as_int
+        q = _retype_vertex(pg, spec.q)
         out.append(spec if q is spec.q else QuerySpec(q, spec.k, spec.method, spec.cohesion))
     return out
 

@@ -124,6 +124,17 @@ class LRUCache:
             value = self._data.get(key, _MISSING)
             return default if value is _MISSING else value
 
+    def peek_versioned(self, key: Hashable, version: Any) -> bool:
+        """Whether a :meth:`get_versioned` lookup would hit right now.
+
+        Purely observational: no counters, no recency update, and a stale
+        entry is left in place (its eviction stays charged to the lookup
+        that actually trips over it). Used for cache-provenance reporting.
+        """
+        with self._lock:
+            entry = self._data.get(key, _MISSING)
+            return entry is not _MISSING and entry[0] == version
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh ``key``, evicting the LRU entry when full."""
         if self.maxsize == 0:

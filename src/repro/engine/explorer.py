@@ -41,7 +41,7 @@ from typing import Hashable, Iterable, List, Optional, Tuple, Union
 from repro.core.cohesion import CohesionModel, get_cohesion
 from repro.core.community import PCSResult
 from repro.core.profiled_graph import ProfiledGraph
-from repro.core.search import ALL_METHODS, pcs
+from repro.core.search import normalize_method, pcs
 from repro.dynamic.core_maintenance import DynamicCoreIndex
 from repro.engine.cache import MISSING, CacheStats, LRUCache
 from repro.engine.updates import GraphUpdate, UpdateReceipt
@@ -59,15 +59,9 @@ DEFAULT_K = 6
 DEFAULT_METHOD = "adv-P"
 
 
-def _normalize_method(method: str) -> str:
-    """Canonical casing for a method name (raises on unknown methods)."""
-    name = method.lower()
-    for known in ALL_METHODS:
-        if known.lower() == name:
-            return known
-    raise InvalidInputError(
-        f"unknown PCS method {method!r}; expected one of {ALL_METHODS}"
-    )
+#: Canonical method-name casing lives in core.search (one spelling table,
+#: one error message, shared with repro.api.Query).
+_normalize_method = normalize_method
 
 
 def _cohesion_token(cohesion):
@@ -124,10 +118,21 @@ class QuerySpec:
 
     @classmethod
     def coerce(cls, item: Union["QuerySpec", Vertex, Tuple, dict]) -> "QuerySpec":
-        """Build a spec from a spec, mapping, ``(q, k[, method[, cohesion]])``
-        tuple, or bare vertex."""
+        """Build a spec from a spec, :class:`repro.api.Query` (or its
+        builder), mapping, ``(q, k[, method[, cohesion]])`` tuple, or bare
+        vertex.
+
+        API objects are recognised structurally (``build``/``to_spec``
+        attributes) so this module never has to import :mod:`repro.api`;
+        their ``limit``/``min_size`` post-filters do not survive the
+        conversion — specs describe the computation only.
+        """
         if isinstance(item, cls):
             return item
+        if hasattr(item, "build") and not isinstance(item, (dict, tuple)):
+            item = item.build()  # repro.api.QueryBuilder
+        if hasattr(item, "to_spec") and not isinstance(item, (dict, tuple)):
+            return item.to_spec()  # repro.api.Query
         if isinstance(item, dict):
             unknown = set(item) - {"q", "k", "method", "cohesion"}
             if unknown:
@@ -343,6 +348,66 @@ class CommunityExplorer:
         self._cache.put_versioned(key, version, result)
         return result
 
+    def method_uses_index(self, method: str) -> bool:
+        """Whether ``method``'s computation reads the CP-tree index."""
+        return _normalize_method(method) not in _INDEX_FREE_METHODS
+
+    def resolve_key(self, item: Union[QuerySpec, Vertex, Tuple, dict]) -> Tuple:
+        """The fully-resolved ``(q, k, method, cohesion)`` cache key.
+
+        *This* is the canonical request key of the serving session — the
+        explorer's defaults applied, spellings normalised, cohesion
+        collapsed to its token. Two requests that this method maps to the
+        same tuple share one cache entry and one execution.
+        """
+        return self._resolve(QuerySpec.coerce(item))
+
+    def is_cached(self, item: Union[QuerySpec, Vertex, Tuple, dict]) -> bool:
+        """Whether ``item`` would be served from cache right now.
+
+        Purely observational (no hit/miss accounting, no recency update) —
+        a provenance probe.
+        """
+        return self._cache.peek_versioned(self.resolve_key(item), self.pg.version)
+
+    def explore_query(self, query, plan=None):
+        """Serve one :class:`repro.api.Query`, returning the full envelope.
+
+        The :class:`repro.api.QueryResponse` carries the communities (with
+        the query's ``limit``/``min_size`` post-filters applied), timing,
+        cache/index provenance, the graph version the answer reflects, and
+        ``plan`` (a :class:`repro.api.PlanDecision`) when a planner chose
+        the method. The raw :class:`~repro.core.community.PCSResult` rides
+        along in ``response.result`` for in-process callers.
+
+        Mirrors :meth:`explore` exactly — one cache lookup decides both
+        the answer and the ``cache_hit`` provenance, so the two can never
+        disagree.
+        """
+        from repro.api.query import Query
+        from repro.api.response import QueryResponse
+
+        query = Query.coerce(query)
+        key = self._resolve(query.to_spec())
+        if key[0] not in self.pg:
+            raise VertexNotFoundError(key[0])
+        version = self.pg.version
+        cached = self._cache.get_versioned(key, version, MISSING)
+        if cached is not MISSING:
+            result, cache_hit = cached, True
+        else:
+            result = self._run(*key)
+            self._cache.put_versioned(key, version, result)
+            cache_hit = False
+        return QueryResponse.from_result(
+            result,
+            query,
+            cache_hit=cache_hit,
+            index_used=self.method_uses_index(key[2]),
+            graph_version=version,
+            plan=plan,
+        )
+
     def explore_many(
         self,
         specs: Iterable[Union[QuerySpec, Vertex, Tuple, dict]],
@@ -361,6 +426,23 @@ class CommunityExplorer:
         Results are deterministic regardless of thread scheduling: the same
         batch always yields the same results in the same order.
         """
+        return self.serve_batch(specs, workers=workers)[0]
+
+    def serve_batch(
+        self,
+        specs: Iterable[Union[QuerySpec, Vertex, Tuple, dict]],
+        workers: Optional[int] = None,
+    ) -> Tuple[List[PCSResult], List[bool]]:
+        """:meth:`explore_many` plus per-spec cache provenance.
+
+        Returns ``(results, cache_hits)``, both aligned with the input
+        order. ``cache_hits[i]`` records whether spec *i* was served from
+        an entry already cached when the batch started (in-batch duplicates
+        of a miss all report ``False`` — they share one execution, but
+        nothing was cached for them up front). The service layer feeds this
+        straight into :attr:`QueryResponse.cache_hit` without a second
+        cache probe.
+        """
         batch = [QuerySpec.coerce(item) for item in specs]
         keys = [self._resolve(spec) for spec in batch]  # validates methods
         for key in keys:
@@ -373,10 +455,12 @@ class CommunityExplorer:
         # the caller's view of the batch; duplicate misses execute once.
         version = self.pg.version
         resolved: dict = {}
+        hits: List[bool] = []
         pending: List[Tuple] = []
         queued = set()
         for key in keys:
             hit = self._cache.get_versioned(key, version, MISSING)
+            hits.append(hit is not MISSING)
             if hit is not MISSING:
                 resolved[key] = hit
             elif key not in resolved and key not in queued:
@@ -395,7 +479,7 @@ class CommunityExplorer:
                 resolved[key] = self._run(*key)
         for key in pending:
             self._cache.put_versioned(key, version, resolved[key])
-        return [resolved[key] for key in keys]
+        return [resolved[key] for key in keys], hits
 
     # ------------------------------------------------------------------
     # mutation

@@ -25,6 +25,51 @@ class TestQuery:
         out = capsys.readouterr().out
         assert "picked" in out
 
+    def test_json_envelope(self, capsys):
+        assert main(
+            ["query", "--dataset", "fig1", "--query", "D", "--k", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"]["vertex"] == "D"
+        assert payload["returned"] == 2
+        assert payload["plan"]["planned"] is True
+        from repro.api import QueryResponse
+
+        restored = QueryResponse.from_dict(payload)
+        assert restored.returned == 2
+
+    def test_limit_and_min_size_flags(self, capsys):
+        assert main(
+            [
+                "query", "--dataset", "fig1", "--query", "D", "--k", "2",
+                "--json", "--limit", "1", "--min-size", "3",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["returned"] == 1
+        assert payload["query"]["limit"] == 1
+        assert payload["query"]["min_size"] == 3
+        assert all(c["size"] >= 3 for c in payload["communities"])
+
+    def test_limit_truncation_notice_in_text_mode(self, capsys):
+        assert main(
+            ["query", "--dataset", "fig1", "--query", "D", "--k", "2", "--limit", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "showing first 1 of 2" in out
+        assert out.count("PC1") == 1 and "PC2" not in out
+
+    def test_explicit_method_skips_the_planner(self, capsys):
+        assert main(
+            [
+                "query", "--dataset", "fig1", "--query", "D", "--k", "2",
+                "--method", "adv-P", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "adv-P"
+        assert payload["plan"]["planned"] is False
+
     def test_int_vertex_coercion(self, capsys, tmp_path):
         from repro.datasets import save_profiled_graph, simple_profiled_graph
         from repro.datasets.taxonomies import synthetic_taxonomy
@@ -67,8 +112,8 @@ class TestBatch:
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["num_queries"] == 3
-        assert [r["query"] for r in payload["results"]] == ["D", "E", "D"]
-        assert payload["results"][0]["num_communities"] == 2
+        assert [r["query"]["vertex"] for r in payload["results"]] == ["D", "E", "D"]
+        assert payload["results"][0]["returned"] == 2
         # The duplicate D is deduplicated inside the batch.
         assert payload["engine"]["queries_served"] == 2
         assert payload["engine"]["index_builds"] == 1
@@ -83,6 +128,36 @@ class TestBatch:
         payload = json.loads(capsys.readouterr().out)
         assert payload["results"][1]["k"] == 1
         assert payload["results"][1]["method"] == "basic"
+
+    def test_batch_respects_per_query_post_filters(self, capsys, tmp_path):
+        queries = self._write_queries(
+            tmp_path, '{"vertex": "D", "k": 2, "limit": 1, "min_size": 2}\n'
+        )
+        assert main(
+            ["batch", "--dataset", "fig1", "--queries", queries, "--k", "2"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        result = payload["results"][0]
+        assert result["returned"] == 1 and result["truncated"] is True
+        assert result["matched"] == 2
+
+    def test_batch_rejects_typo_keys(self, capsys, tmp_path):
+        queries = self._write_queries(tmp_path, '{"q": "D", "methud": "basic"}\n')
+        from repro.errors import InvalidInputError
+
+        with pytest.raises(InvalidInputError, match="methud"):
+            main(["batch", "--dataset", "fig1", "--queries", queries])
+
+    def test_batch_service_limit_flag(self, capsys, tmp_path):
+        queries = self._write_queries(tmp_path, "D\n")
+        assert main(
+            [
+                "batch", "--dataset", "fig1", "--queries", queries,
+                "--k", "2", "--limit", "1",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["returned"] == 1
 
     def test_batch_to_file(self, capsys, tmp_path):
         queries = self._write_queries(tmp_path, "D\n")
@@ -110,7 +185,7 @@ class TestBatch:
             ]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert [r["query"] for r in payload["results"]] == ["D", "E", "A"]
+        assert [r["query"]["vertex"] for r in payload["results"]] == ["D", "E", "A"]
 
 
 class TestUpdate:
@@ -143,7 +218,8 @@ class TestUpdate:
         assert payload["receipt"]["applied"] == 5
         assert payload["receipt"]["repaired_labels"] > 0
         assert payload["engine"]["graph_version"] == 5
-        assert payload["query"]["num_communities"] >= 1
+        assert payload["query"]["returned"] >= 1
+        assert payload["query"]["graph_version"] == 5
 
     def test_update_removed_query_vertex(self, capsys, tmp_path):
         edits = self.edits(tmp_path, "remove-vertex D\n")
@@ -181,6 +257,22 @@ class TestBenchEngine:
         payload = json.loads(out.read_text())
         assert payload["throughput"]["queries"] == 6
         assert payload["throughput"]["cache_hits"] > 0
+
+    def test_bench_engine_facade_overhead(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(
+            [
+                "bench-engine", "--dataset", "fig1", "--k", "2",
+                "--num-queries", "3", "--repeat", "2", "--facade",
+                "--out", str(out),
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "facade (service)" in text
+        payload = json.loads(out.read_text())
+        facade = payload["facade_overhead"]
+        assert facade["engine"]["queries"] == facade["service"]["queries"] == 6
+        assert facade["service_ms_per_query"] > 0
 
 
 class TestParser:
