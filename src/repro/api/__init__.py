@@ -33,6 +33,7 @@ _EXPORTS = {
     "API_VERSION": ("repro.api.response", "API_VERSION"),
     "QueryPlanner": ("repro.api.planner", "QueryPlanner"),
     "PlanDecision": ("repro.api.planner", "PlanDecision"),
+    "BatchPlan": ("repro.api.planner", "BatchPlan"),
     "Engine": ("repro.api.protocol", "Engine"),
     "CommunityService": ("repro.api.service", "CommunityService"),
     "Middleware": ("repro.api.service", "Middleware"),

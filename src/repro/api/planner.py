@@ -25,16 +25,64 @@ Every decision is recorded as a :class:`PlanDecision` in the
 :class:`~repro.api.response.QueryResponse`, so clients can see *why* a
 method ran — and future planners (cost models, per-shard state) can evolve
 behind the same interface.
+
+Batches get a second verdict: :meth:`QueryPlanner.plan_batch` decides
+whether a batch should shard across a session's worker-process fleet
+(``CommunityService(parallel=N)``) or stay in-process, returning a
+:class:`BatchPlan`. The rule itself lives in
+:func:`repro.parallel.decide_batch_mode` and is shared with the execution
+layer, so the planner's report always matches what the engine will do.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.api.query import Query, cohesion_name, normalize_method
 from repro.errors import InvalidInputError
 
 _DECISION_FIELDS = ("method", "reason", "planned")
+
+_BATCH_PLAN_FIELDS = ("mode", "workers", "reason")
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The planner's execution-mode verdict for one batch.
+
+    ``mode`` is ``"process"`` (shard across the worker fleet) or
+    ``"inline"`` (serve in-process); ``workers`` is the fleet width a
+    process plan would use (``None`` for inline plans).
+    """
+
+    mode: str
+    reason: str
+    workers: Optional[int] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.mode == "process"
+
+    def to_dict(self) -> dict:
+        return {"mode": self.mode, "workers": self.workers, "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BatchPlan":
+        if not isinstance(payload, dict):
+            raise InvalidInputError(
+                f"BatchPlan.from_dict needs a mapping, got {payload!r}"
+            )
+        unknown = set(payload) - set(_BATCH_PLAN_FIELDS)
+        if unknown:
+            raise InvalidInputError(f"unknown BatchPlan fields: {sorted(unknown)}")
+        if "mode" not in payload:
+            raise InvalidInputError("BatchPlan payload needs a 'mode' field")
+        return cls(
+            mode=payload["mode"],
+            reason=payload.get("reason", ""),
+            workers=payload.get("workers"),
+        )
 
 
 @dataclass(frozen=True)
@@ -105,6 +153,51 @@ class QueryPlanner:
         decision = self._decide(query.method, cohesion, index_ready, one_shot)
         self._memo[key] = decision
         return decision
+
+    def plan_batch(
+        self,
+        batch_size: int,
+        processes: Optional[int] = None,
+        min_batch: Optional[int] = None,
+        tiny_graph: bool = False,
+    ) -> BatchPlan:
+        """Choose inline vs process execution for a batch of ``batch_size``.
+
+        Delegates to :func:`repro.parallel.decide_batch_mode` — the same
+        rule the :class:`~repro.parallel.ParallelExplorer` applies to each
+        batch's cache misses — so the planner's report and the engine's
+        behaviour cannot drift apart. The planner sees the whole batch
+        (cache state unknown at plan time); the engine re-applies the rule
+        to the deduplicated misses, so a planned-parallel batch that turns
+        out to be fully cached still serves inline.
+
+        Parameters
+        ----------
+        batch_size:
+            Number of queries in the batch.
+        processes:
+            The serving session's worker fleet width (``None``/``1`` =
+            no fleet).
+        min_batch:
+            Per-session threshold override (default
+            :data:`repro.parallel.PARALLEL_BATCH_THRESHOLD`).
+        tiny_graph:
+            Whether the served graph is below the shipping-worthiness
+            floor (:data:`repro.parallel.TINY_GRAPH_VERTICES`).
+        """
+        from repro.parallel import PARALLEL_BATCH_THRESHOLD, decide_batch_mode
+
+        mode, reason = decide_batch_mode(
+            batch_size,
+            processes,
+            min_batch=PARALLEL_BATCH_THRESHOLD if min_batch is None else min_batch,
+            tiny_graph=tiny_graph,
+        )
+        return BatchPlan(
+            mode=mode,
+            reason=reason,
+            workers=processes if mode == "process" else None,
+        )
 
     def _decide(
         self, method, cohesion: str, index_ready: bool, one_shot: bool

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, List, Optional, Sequence, Union
 
-from repro.api.planner import PlanDecision, QueryPlanner
+from repro.api.planner import BatchPlan, PlanDecision, QueryPlanner
 from repro.api.query import Query, QueryBuilder
 from repro.api.response import QueryResponse
 from repro.core.profiled_graph import ProfiledGraph
@@ -121,6 +121,17 @@ class CommunityService:
     one_shot:
         Planner hint: this session will serve roughly one query, so a cold
         graph should not pay an index build (used by ``repro query``).
+    parallel:
+        Worker *process* count for batch execution and index builds. With
+        ``parallel >= 2`` (and ``pg`` a graph) the session serves through a
+        :class:`~repro.parallel.ParallelExplorer`: batches of at least
+        :data:`~repro.parallel.PARALLEL_BATCH_THRESHOLD` uncached queries
+        shard across a worker fleet, ``warm()`` builds the CP-tree with
+        the label set sharded the same way, and mutations re-ship the
+        graph automatically. ``None``/``1`` keeps everything in-process.
+        Distinct from ``max_workers``, which is *thread* fan-out inside
+        one process. Call :meth:`close` (or use the service as a context
+        manager) to release the fleet.
     cache_size, max_workers, default_k, default_method, default_cohesion:
         Forwarded to the explorer when ``pg`` is a graph.
 
@@ -140,23 +151,43 @@ class CommunityService:
         middleware: Optional[Sequence[Middleware]] = None,
         max_limit: Optional[int] = None,
         one_shot: bool = False,
+        parallel: Optional[int] = None,
         cache_size: Optional[int] = 1024,
         max_workers: Optional[int] = None,
         default_k: int = DEFAULT_K,
         default_method: str = DEFAULT_METHOD,
         default_cohesion: Optional[str] = None,
     ) -> None:
+        if parallel is not None and parallel < 1:
+            raise InvalidInputError(f"parallel must be >= 1, got {parallel}")
         if isinstance(pg, CommunityExplorer):
+            # parallel=1 means "in-process", which any explorer satisfies;
+            # otherwise the adopted explorer's fleet width must match.
+            fleet = getattr(pg, "processes", None)
+            if parallel is not None and parallel != fleet and not (
+                parallel == 1 and fleet is None
+            ):
+                raise InvalidInputError(
+                    "parallel= cannot reconfigure an adopted explorer; pass a "
+                    "ProfiledGraph, or construct the ParallelExplorer yourself"
+                )
             self._explorer = pg
         elif isinstance(pg, ProfiledGraph):
-            self._explorer = CommunityExplorer(
-                pg,
+            engine_kwargs = dict(
                 cache_size=cache_size,
                 max_workers=max_workers,
                 default_k=default_k,
                 default_method=default_method,
                 default_cohesion=default_cohesion,
             )
+            if parallel is not None and parallel > 1:
+                from repro.parallel import ParallelExplorer
+
+                self._explorer = ParallelExplorer(
+                    pg, processes=parallel, **engine_kwargs
+                )
+            else:
+                self._explorer = CommunityExplorer(pg, **engine_kwargs)
         else:
             raise InvalidInputError(
                 f"CommunityService needs a ProfiledGraph or CommunityExplorer, "
@@ -190,12 +221,39 @@ class CommunityService:
         """
         return self._explorer.resolve_key(Query.coerce(query).to_spec())
 
+    @property
+    def parallel_workers(self) -> Optional[int]:
+        """The worker-fleet width, or ``None`` for an in-process session."""
+        return getattr(self._explorer, "processes", None)
+
     def plan(self, query: QueryLike) -> PlanDecision:
         """The planner's verdict for ``query`` under current serving state."""
         return self.planner.plan(
             Query.coerce(query),
             index_ready=self._explorer.index_ready,
             one_shot=self.one_shot,
+        )
+
+    def plan_batch(self, batch_size: int) -> BatchPlan:
+        """The planner's inline-vs-process verdict for a batch of this size.
+
+        Reflects this session's fleet (``parallel=``), threshold and graph
+        size. The engine re-applies the same rule to the batch's
+        deduplicated cache misses at serve time, so a planned-parallel
+        batch that turns out fully cached still answers inline.
+        """
+        from repro.parallel import TINY_GRAPH_VERTICES
+
+        # Per-session overrides win (the engine gates on the same values),
+        # so the reported plan always matches actual execution.
+        tiny_floor = getattr(
+            self._explorer, "tiny_graph_vertices", TINY_GRAPH_VERTICES
+        )
+        return self.planner.plan_batch(
+            batch_size,
+            processes=self.parallel_workers,
+            min_batch=getattr(self._explorer, "min_batch", None),
+            tiny_graph=self.pg.num_vertices < tiny_floor,
         )
 
     def _prepare(self, item: QueryLike) -> tuple:
@@ -240,15 +298,22 @@ class CommunityService:
         Execution goes through the engine's
         :meth:`~repro.engine.explorer.CommunityExplorer.explore_many` —
         batch-level validation, in-batch dedup and optional thread fan-out
-        are preserved. ``cache_hit`` provenance reflects the cache state at
-        batch start (in-batch duplicates of a miss all report a miss).
+        are preserved; on a ``parallel=`` session, batches past the
+        planner's threshold (:meth:`plan_batch`) shard across the worker
+        fleet. ``cache_hit`` provenance reflects the cache state at batch
+        start (in-batch duplicates of a miss all report a miss); each
+        response's ``graph_version`` is the version its answer actually
+        reflects.
         """
         prepared = [self._prepare(item) for item in items]
         specs = [query.to_spec() for query, _ in prepared]
-        results, hits = self._explorer.serve_batch(specs, workers=workers)
-        version = self.pg.version
+        results, hits, versions = self._explorer._serve_batch_full(
+            specs, workers=workers
+        )
         responses = []
-        for (query, plan), spec, hit, result in zip(prepared, specs, hits, results):
+        for (query, plan), hit, result, version in zip(
+            prepared, hits, results, versions
+        ):
             response = QueryResponse.from_result(
                 result,
                 query,
@@ -276,6 +341,22 @@ class CommunityService:
 
     def clear_cache(self) -> None:
         self._explorer.clear_cache()
+
+    def close(self) -> None:
+        """Release the worker fleet of a ``parallel=`` session.
+
+        No-op on in-process sessions; a closed fleet restarts lazily if
+        the session serves another parallel-worthy batch.
+        """
+        close = getattr(self._explorer, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "CommunityService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

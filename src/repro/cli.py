@@ -31,6 +31,11 @@ Serve a whole query file through the batched engine (JSON on stdout)::
 
     python -m repro batch --dataset fig1 --queries queries.txt --k 2
 
+The same, sharded across 4 worker processes (batches past the planner's
+threshold fan out; the emitted ``batch_plan`` records the decision)::
+
+    python -m repro batch --dataset acmdl --queries queries.txt --parallel 4
+
 Apply a graph-edit file through the mutation pipeline (incremental index
 maintenance + cache invalidation), then optionally re-query::
 
@@ -158,12 +163,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"no queries found in {args.queries}", file=sys.stderr)
         return 1
     queries = coerce_query_vertices(pg, queries)
-    service = CommunityService(pg, max_workers=args.workers, max_limit=args.limit)
+    service = CommunityService(
+        pg, max_workers=args.workers, max_limit=args.limit, parallel=args.parallel
+    )
+    batch_plan = service.plan_batch(len(queries))
     responses = service.batch(queries)
     stats = service.stats()
+    service.close()
     payload = {
         "dataset": args.dataset,
         "num_queries": len(queries),
+        "batch_plan": batch_plan.to_dict(),
         "results": [r.to_dict() for r in responses],
         "engine": {
             "queries_served": stats.queries_served,
@@ -340,7 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(auto = query planner decides)")
     b.add_argument("--limit", type=int, default=None,
                    help="cap communities per response (service max_limit)")
-    b.add_argument("--workers", type=int, default=None, help="thread-pool width")
+    b.add_argument("--workers", type=int, default=None,
+                   help="thread-pool width (in-process fan-out)")
+    b.add_argument("--parallel", type=int, default=None,
+                   help="worker *process* count: batches past the planner "
+                        "threshold shard across a process pool "
+                        "(see repro.parallel)")
     b.add_argument("--out", help="write JSON here instead of stdout")
     b.set_defaults(func=cmd_batch)
 

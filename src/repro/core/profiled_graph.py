@@ -376,6 +376,23 @@ class ProfiledGraph:
             self._journal.clear()
         return self._index
 
+    def adopt_index(self, index: CPTree) -> CPTree:
+        """Install an externally built CP-tree as this graph's index.
+
+        Used by :func:`repro.parallel.build_cptree_parallel`, which
+        assembles the index from label shards built in worker processes.
+        The caller asserts the index describes the *current* topology and
+        labels; any journaled repair work is discarded (the adopted index
+        is assumed fresh). Returns the installed index.
+        """
+        if not isinstance(index, CPTree):
+            raise InvalidInputError(
+                f"adopt_index needs a CPTree, got {type(index).__name__}"
+            )
+        self._index = index
+        self._journal.clear()
+        return index
+
     def has_index(self) -> bool:
         return self._index is not None
 

@@ -40,18 +40,16 @@ from typing import Dict, List, Sequence, Set, Tuple, Union
 
 from repro.core.profiled_graph import ProfiledGraph
 from repro.errors import InvalidInputError
-from repro.graph.generators import planted_community_graph
+# _rng shares the generators' seed-resolution policy: omitted seeds resolve
+# to the deterministic DEFAULT_SEED (a dataset regenerated in a parallel
+# worker or a property-test replay is identical to the original), explicit
+# ``seed=None`` requests OS entropy.
+from repro.graph.generators import _UNSEEDED, _rng, planted_community_graph
 from repro.ptree.taxonomy import Taxonomy
 
 RandomLike = Union[int, random.Random, None]
 
 _HASH_PRIME = 1_000_003
-
-
-def _rng(seed: RandomLike) -> random.Random:
-    if isinstance(seed, random.Random):
-        return seed
-    return random.Random(seed)
 
 
 def hash_token_to_leaf(token: int, leaves: Sequence[int]) -> int:
@@ -101,7 +99,7 @@ class SyntheticConfig:
 def synthetic_profiled_graph(
     taxonomy: Taxonomy,
     config: SyntheticConfig,
-    seed: RandomLike = None,
+    seed: RandomLike = _UNSEEDED,
 ) -> Tuple[ProfiledGraph, List[Set[int]]]:
     """Generate a profiled graph plus its planted ground-truth communities.
 
@@ -209,7 +207,7 @@ def synthetic_profiled_graph(
 def simple_profiled_graph(
     taxonomy: Taxonomy,
     num_vertices: int,
-    seed: RandomLike = None,
+    seed: RandomLike = _UNSEEDED,
     edge_probability: float = 0.2,
     labels_per_vertex: int = 4,
 ) -> ProfiledGraph:

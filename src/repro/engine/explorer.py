@@ -58,6 +58,11 @@ _INDEX_FREE_METHODS = frozenset({"basic"})
 DEFAULT_K = 6
 DEFAULT_METHOD = "adv-P"
 
+#: Optimistic attempts of the version-stable execution loop before it
+#: falls back to computing under the index lock (which blocks
+#: :meth:`CommunityExplorer.apply_updates` for the duration).
+_OPTIMISTIC_ATTEMPTS = 3
+
 
 #: Canonical method-name casing lives in core.search (one spelling table,
 #: one error message, shared with repro.api.Query).
@@ -233,7 +238,9 @@ class CommunityExplorer:
         self._cltree_version: int = -1
         self._cores: Optional[DynamicCoreIndex] = None
         self._cores_version: int = -1
-        self._index_lock = threading.Lock()
+        # Reentrant: the version-stable fallback computes while holding it,
+        # and the computation's index() call re-acquires.
+        self._index_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # index ownership
@@ -319,6 +326,37 @@ class CommunityExplorer:
             self._counters.queries_served += 1
         return result
 
+    def _run_stable(self, key: Tuple) -> Tuple[PCSResult, int]:
+        """Execute ``key`` and return ``(result, version)`` where ``version``
+        is a graph version the result is *guaranteed* to reflect.
+
+        Queries racing :meth:`apply_updates` on other threads could observe
+        a half-applied batch: the version is read, the graph mutates
+        mid-computation, and the result matches neither the version read
+        before nor the one after. This loop makes serving linearisable per
+        query: optimistically compute, then re-read the version — unchanged
+        means no mutation committed in between (versions are monotonic), so
+        the pair is consistent. A computation that raced (version moved, or
+        crashed on a torn read of a mutating structure) is retried; after
+        :data:`_OPTIMISTIC_ATTEMPTS` races the final attempt runs holding
+        the index lock, which :meth:`apply_updates` takes for its whole
+        batch — mutations through the engine block, and the result is exact.
+        (Edits applied directly through the ProfiledGraph API bypass that
+        lock; the guarantee covers the supported serving path.)
+        """
+        for _ in range(_OPTIMISTIC_ATTEMPTS):
+            version = self.pg.version
+            try:
+                result = self._run(*key)
+            except Exception:
+                if self.pg.version == version:
+                    raise  # a real error, not a torn read of a mutating graph
+                continue
+            if self.pg.version == version:
+                return result, version
+        with self._index_lock:
+            return self._run(*key), self.pg.version
+
     def explore(
         self,
         q: Vertex,
@@ -340,11 +378,10 @@ class CommunityExplorer:
         key = self._resolve(spec)
         if key[0] not in self.pg:
             raise VertexNotFoundError(key[0])
-        version = self.pg.version
-        cached = self._cache.get_versioned(key, version, MISSING)
+        cached = self._cache.get_versioned(key, self.pg.version, MISSING)
         if cached is not MISSING:
             return cached
-        result = self._run(*key)
+        result, version = self._run_stable(key)
         self._cache.put_versioned(key, version, result)
         return result
 
@@ -396,7 +433,7 @@ class CommunityExplorer:
         if cached is not MISSING:
             result, cache_hit = cached, True
         else:
-            result = self._run(*key)
+            result, version = self._run_stable(key)
             self._cache.put_versioned(key, version, result)
             cache_hit = False
         return QueryResponse.from_result(
@@ -443,6 +480,21 @@ class CommunityExplorer:
         straight into :attr:`QueryResponse.cache_hit` without a second
         cache probe.
         """
+        results, hits, _ = self._serve_batch_full(specs, workers=workers)
+        return results, hits
+
+    def _serve_batch_full(
+        self,
+        specs: Iterable[Union[QuerySpec, Vertex, Tuple, dict]],
+        workers: Optional[int] = None,
+    ) -> Tuple[List[PCSResult], List[bool], List[int]]:
+        """:meth:`serve_batch` plus the graph version each answer reflects.
+
+        The third list aligns with the input order: cache hits carry the
+        version their entry was validated against (batch start), misses the
+        version their computation stabilised at (see :meth:`_run_stable`).
+        The service layer uses it for ``QueryResponse.graph_version``.
+        """
         batch = [QuerySpec.coerce(item) for item in specs]
         keys = [self._resolve(spec) for spec in batch]  # validates methods
         for key in keys:
@@ -455,6 +507,7 @@ class CommunityExplorer:
         # the caller's view of the batch; duplicate misses execute once.
         version = self.pg.version
         resolved: dict = {}
+        versions: dict = {}
         hits: List[bool] = []
         pending: List[Tuple] = []
         queued = set()
@@ -463,23 +516,42 @@ class CommunityExplorer:
             hits.append(hit is not MISSING)
             if hit is not MISSING:
                 resolved[key] = hit
+                versions[key] = version
             elif key not in resolved and key not in queued:
                 pending.append(key)
                 queued.add(key)
 
+        for key, (result, result_version) in self._execute_pending(
+            pending, workers=workers
+        ).items():
+            resolved[key] = result
+            versions[key] = result_version
+            self._cache.put_versioned(key, result_version, result)
+        return (
+            [resolved[key] for key in keys],
+            hits,
+            [versions[key] for key in keys],
+        )
+
+    def _execute_pending(
+        self, pending: List[Tuple], workers: Optional[int] = None
+    ) -> "dict[Tuple, Tuple[PCSResult, int]]":
+        """Execute the batch's deduplicated cache misses.
+
+        Returns ``{key: (result, stable_version)}``. The base implementation
+        runs sequentially or on a thread pool; the process-parallel layer
+        (:class:`repro.parallel.ParallelExplorer`) overrides this one hook to
+        shard the same pending set across worker processes, so batch
+        validation, dedup, caching and provenance stay identical across all
+        execution modes.
+        """
         width = self.max_workers if workers is None else workers
         if width is not None and width > 1 and len(pending) > 1:
             self.index()  # build once up front, not racing inside the pool
             with ThreadPoolExecutor(max_workers=width) as pool:
-                outcomes = list(pool.map(lambda key: self._run(*key), pending))
-            for key, result in zip(pending, outcomes):
-                resolved[key] = result
-        else:
-            for key in pending:
-                resolved[key] = self._run(*key)
-        for key in pending:
-            self._cache.put_versioned(key, version, resolved[key])
-        return [resolved[key] for key in keys], hits
+                outcomes = list(pool.map(self._run_stable, pending))
+            return dict(zip(pending, outcomes))
+        return {key: self._run_stable(key) for key in pending}
 
     # ------------------------------------------------------------------
     # mutation

@@ -2,7 +2,12 @@
 
 These supply the topology half of the synthetic datasets (the taxonomy /
 P-tree half lives in :mod:`repro.datasets`). All generators take an explicit
-``random.Random`` seed or instance so dataset construction is reproducible.
+``random.Random`` seed or instance so dataset construction is reproducible —
+and they are **deterministic by default**: an omitted seed means
+:data:`DEFAULT_SEED`, not OS entropy, so a dataset regenerated anywhere
+(another process, a parallel worker bootstrap, a property-test shrink
+replay) is identical to the original. Pass ``seed=None`` explicitly to opt
+into fresh entropy.
 
 Three families are provided:
 
@@ -24,15 +29,26 @@ from repro.graph.graph import Graph
 
 RandomLike = Union[int, random.Random, None]
 
+#: Seed used when a generator is called without one (the paper's ICDE'19
+#: publication date, like the dataset registry). Explicit ``seed=None``
+#: still requests OS entropy.
+DEFAULT_SEED = 20190116
 
-def _rng(seed: RandomLike) -> random.Random:
+#: Sentinel distinguishing "seed omitted" (deterministic default) from an
+#: explicit ``seed=None`` (OS entropy).
+_UNSEEDED = object()
+
+
+def _rng(seed) -> random.Random:
     """Coerce an int seed / Random instance / None into a Random instance."""
+    if seed is _UNSEEDED:
+        return random.Random(DEFAULT_SEED)
     if isinstance(seed, random.Random):
         return seed
     return random.Random(seed)
 
 
-def gnp_graph(n: int, p: float, seed: RandomLike = None) -> Graph:
+def gnp_graph(n: int, p: float, seed: RandomLike = _UNSEEDED) -> Graph:
     """Erdős–Rényi G(n, p) on vertices ``0..n-1``.
 
     Uses geometric skipping so the cost is proportional to the number of
@@ -68,7 +84,9 @@ def gnp_graph(n: int, p: float, seed: RandomLike = None) -> Graph:
     return g
 
 
-def preferential_attachment_graph(n: int, m_per_vertex: int, seed: RandomLike = None) -> Graph:
+def preferential_attachment_graph(
+    n: int, m_per_vertex: int, seed: RandomLike = _UNSEEDED
+) -> Graph:
     """Barabási–Albert graph: each new vertex attaches to ``m_per_vertex`` targets.
 
     Produces a connected scale-free graph on ``0..n-1`` with roughly
@@ -107,7 +125,7 @@ def planted_community_graph(
     p_in: float = 0.35,
     p_out_degree: float = 2.0,
     overlap: float = 0.15,
-    seed: RandomLike = None,
+    seed: RandomLike = _UNSEEDED,
 ) -> Tuple[Graph, List[Set[int]]]:
     """Overlapping planted communities plus background noise edges.
 
@@ -208,7 +226,7 @@ def random_queries(
     graph: Graph,
     count: int,
     k: int,
-    seed: RandomLike = None,
+    seed: RandomLike = _UNSEEDED,
     restrict_to: Optional[Sequence] = None,
 ) -> List:
     """Sample ``count`` query vertices from the k-core of ``graph``.

@@ -127,6 +127,54 @@ class CPTree:
         self._head_map = head_map
         self._num_vertices = len(head_map)
 
+    @classmethod
+    def from_parts(
+        cls,
+        vertex_labels: Mapping[Vertex, NodeSet],
+        taxonomy: Taxonomy,
+        cltrees: Mapping[int, "CLTree"],
+    ) -> "CPTree":
+        """Assemble a CP-tree from per-label CL-trees built elsewhere.
+
+        The merge half of the parallel index build
+        (:func:`repro.parallel.build_cptree_parallel`): label shards are
+        peeled concurrently in worker processes, then stitched back into
+        one index here. ``cltrees`` must contain exactly one CL-tree per
+        label that occurs in ``vertex_labels`` — the same bucketing the
+        sequential constructor performs — and each CL-tree must describe
+        the subgraph induced on that label's carriers. Produces an index
+        observationally identical to a whole build (checked by the
+        shard-merge property tests).
+        """
+        self = cls.__new__(cls)
+        self.taxonomy = taxonomy
+        buckets: Dict[int, List[Vertex]] = {}
+        head_map: Dict[Vertex, Tuple[int, ...]] = {}
+        for v, labels in vertex_labels.items():
+            for x in labels:
+                buckets.setdefault(x, []).append(v)
+            head_map[v] = ptree_leaves(labels, taxonomy)
+        missing = set(buckets) - set(cltrees)
+        extra = set(cltrees) - set(buckets)
+        if missing or extra:
+            raise InvalidInputError(
+                f"shard merge mismatch: labels missing {sorted(missing)[:5]}, "
+                f"unexpected {sorted(extra)[:5]}"
+            )
+        self._nodes = {
+            label: CPNode(label, frozenset(members), cltrees[label])
+            for label, members in buckets.items()
+        }
+        for label, node in self._nodes.items():
+            parent_label = taxonomy.parent(label)
+            if parent_label != -1 and parent_label in self._nodes:
+                parent_node = self._nodes[parent_label]
+                node.parent = parent_node
+                parent_node.children.append(node)
+        self._head_map = head_map
+        self._num_vertices = len(head_map)
+        return self
+
     # ------------------------------------------------------------------
     # the paper's API
     # ------------------------------------------------------------------

@@ -1,0 +1,157 @@
+"""Parallel CP-tree construction: shard the label set, peel concurrently, merge.
+
+The CP-tree (paper §4.2, Algorithm 2) is one CL-tree per taxonomy label
+that occurs in a vertex profile — construction is embarrassingly parallel
+across labels, which is exactly how ACQ/ATC-style index builds scale. This
+module splits the work:
+
+* :func:`shard_labels` partitions the labels into balanced shards
+  (greedy longest-processing-time on per-label subgraph size — label
+  popularity follows the taxonomy's heavy root, so naive round-robin
+  would leave one worker peeling the root label alone);
+* each worker peels the CL-trees of its shard against its own graph
+  snapshot (:func:`build_shard_cltrees`, dispatched as
+  :func:`_build_label_shard`);
+* :meth:`repro.index.cptree.CPTree.from_parts` stitches the shards into
+  one index, byte-for-byte interchangeable with a sequential build
+  (headMap and CP-node linking are recomputed at merge — they are O(n·|P|)
+  bookkeeping, not worth shipping).
+
+The profiled graph rides into the workers through the same
+:class:`~repro.parallel.pool.WorkerPool` the batch executor uses, so a
+serving session pays for worker bootstrap once and gets both parallel
+queries and parallel (re)builds from the same fleet.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.profiled_graph import ProfiledGraph
+from repro.errors import InvalidInputError
+from repro.index.cltree import CLTree
+from repro.index.cptree import CPTree
+from repro.parallel import pool as _pool_mod
+from repro.parallel.pool import TINY_GRAPH_VERTICES, WorkerPool
+
+
+def label_weights(vertex_labels: Mapping) -> Dict[int, int]:
+    """``{label: carrier count}`` — the shard balancing weight.
+
+    Peeling a label's CL-tree costs roughly the size of its induced
+    subgraph; carrier count is the cheap proxy that needs no edge scans.
+    """
+    weights: Dict[int, int] = {}
+    for labels in vertex_labels.values():
+        for x in labels:
+            weights[x] = weights.get(x, 0) + 1
+    return weights
+
+
+def shard_labels(weights: Mapping[int, int], num_shards: int) -> List[List[int]]:
+    """Partition labels into ``num_shards`` balanced shards (LPT greedy).
+
+    Heaviest label first, each assigned to the currently lightest shard —
+    the classic 4/3-approximation, plenty for a build whose cost one label
+    (the taxonomy root, carried by everyone) can dominate. Empty shards are
+    dropped, so fewer labels than shards is fine.
+    """
+    if num_shards < 1:
+        raise InvalidInputError(f"num_shards must be >= 1, got {num_shards}")
+    shards: List[List[int]] = [[] for _ in range(num_shards)]
+    heap = [(0, i) for i in range(num_shards)]
+    heapq.heapify(heap)
+    for label in sorted(weights, key=lambda x: (-weights[x], x)):
+        load, i = heapq.heappop(heap)
+        shards[i].append(label)
+        heapq.heappush(heap, (load + weights[label], i))
+    return [shard for shard in shards if shard]
+
+
+def build_shard_cltrees(pg: ProfiledGraph, labels: Iterable[int]) -> Dict[int, CLTree]:
+    """Peel the CL-trees of ``labels`` over ``pg`` (one shard's work).
+
+    Runs in worker processes during a parallel build, and in-process by the
+    shard-merge property tests — the same code path either way.
+    """
+    buckets: Dict[int, List] = {x: [] for x in labels}
+    for v, vertex_labels in pg.all_labels().items():
+        for x in vertex_labels:
+            members = buckets.get(x)
+            if members is not None:
+                members.append(v)
+    return {x: CLTree(pg.graph, vertices=members) for x, members in buckets.items()}
+
+
+def _build_label_shard(labels: List[int]) -> Dict[int, CLTree]:
+    """Worker-side entry point: peel one shard against the worker snapshot."""
+    engine = _pool_mod._WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker used before bootstrap")
+    return build_shard_cltrees(engine.pg, labels)
+
+
+def build_cptree_parallel(
+    pg: ProfiledGraph,
+    pool: Optional[WorkerPool] = None,
+    processes: Optional[int] = None,
+) -> CPTree:
+    """Build ``pg``'s CP-tree with the label set sharded across processes.
+
+    Pass an existing :class:`WorkerPool` to reuse a serving session's fleet
+    (and its already-shipped graph); otherwise an ephemeral pool of
+    ``processes`` workers is spun up and torn down around the build. Falls
+    back to the sequential constructor when parallelism cannot pay: one
+    worker, a tiny graph, or fewer labels than would fill two shards.
+
+    Returns the index; callers that want it serving traffic install it with
+    :meth:`~repro.core.profiled_graph.ProfiledGraph.adopt_index`.
+    """
+    owned = pool is None
+    if owned:
+        pool = WorkerPool(pg, processes=processes)
+    elif pool.pg is not pg:
+        raise InvalidInputError("pool serves a different profiled graph")
+    weights = label_weights(pg.all_labels())
+    if (
+        pool.processes <= 1
+        or pg.num_vertices < TINY_GRAPH_VERTICES
+        or len(weights) < 2 * pool.processes
+    ):
+        if owned:
+            pool.close()
+        return CPTree(pg.graph, pg.all_labels(), pg.taxonomy, validate=False)
+    try:
+        shards = shard_labels(weights, pool.processes)
+        futures, version = pool.submit_all(
+            _build_label_shard, [(shard,) for shard in shards]
+        )
+        if version != pg.version:
+            raise InvalidInputError("graph mutated while starting the build pool")
+        cltrees: Dict[int, CLTree] = {}
+        for future in futures:
+            cltrees.update(future.result())
+    finally:
+        if owned:
+            pool.close()
+    return CPTree.from_parts(pg.all_labels(), pg.taxonomy, cltrees)
+
+
+def merge_shard_builds(
+    pg: ProfiledGraph, shard_results: Sequence[Mapping[int, CLTree]]
+) -> CPTree:
+    """Merge per-shard ``{label: CLTree}`` mappings into one CP-tree.
+
+    The merge half of :func:`build_cptree_parallel`, exposed separately so
+    tests (and alternative dispatchers) can drive sharding themselves.
+    """
+    cltrees: Dict[int, CLTree] = {}
+    for part in shard_results:
+        overlap = cltrees.keys() & part.keys()
+        if overlap:
+            raise InvalidInputError(
+                f"label shards overlap on {sorted(overlap)[:5]}"
+            )
+        cltrees.update(part)
+    return CPTree.from_parts(pg.all_labels(), pg.taxonomy, cltrees)

@@ -1,0 +1,82 @@
+"""Moving profiled graphs and PCS results across process boundaries.
+
+The process-parallel layer ships three things:
+
+* the **profiled graph**, once per worker lifetime (:func:`ship_graph` /
+  :func:`unship_graph`) — the worker gets a self-contained snapshot:
+  topology, taxonomy, label map and the version the snapshot reflects.
+  The parent's CP-tree index, P-tree cache and update journal are *not*
+  shipped; every worker builds and owns its indexes locally (they are
+  cheap relative to their amortised use, and per-worker construction is
+  exactly what the parallel index build exploits);
+* **query keys**, per batch — plain tuples, nothing to do;
+* **PCS results**, back from the workers. Results carry
+  :class:`~repro.ptree.ptree.PTree` subtrees anchored to the *worker's*
+  taxonomy copy; :func:`reanchor_result` re-ties them to the parent's
+  taxonomy instance so merged results are indistinguishable from locally
+  computed ones (``PTree`` equality requires the same taxonomy object,
+  and downstream code may feed subtrees back into taxonomy-checked APIs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+from repro.core.community import PCSResult
+from repro.core.profiled_graph import ProfiledGraph
+from repro.index.maintenance import UpdateJournal
+from repro.ptree.ptree import PTree
+from repro.ptree.taxonomy import Taxonomy
+
+#: Wire protocol for worker bootstrap payloads.
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def ship_graph(pg: ProfiledGraph) -> bytes:
+    """Serialise the serving-relevant state of ``pg`` for worker bootstrap.
+
+    The blob decodes (:func:`unship_graph`) into a fresh
+    :class:`~repro.core.profiled_graph.ProfiledGraph` carrying the same
+    topology, taxonomy, labels and version — but no index, no P-tree cache
+    and an empty journal, so the worker starts cold and builds exactly what
+    it needs.
+    """
+    clone = ProfiledGraph.__new__(ProfiledGraph)
+    clone.graph = pg.graph
+    clone.taxonomy = pg.taxonomy
+    clone._labels = pg._labels
+    clone._index = None
+    clone._ptree_cache = {}
+    clone._version = pg.version
+    clone._journal = UpdateJournal()
+    clone._maintenance_seconds = 0.0
+    clone._repairs = 0
+    return pickle.dumps(clone, protocol=PICKLE_PROTOCOL)
+
+
+def unship_graph(blob: bytes) -> ProfiledGraph:
+    """Inverse of :func:`ship_graph` (runs in the worker process)."""
+    pg = pickle.loads(blob)
+    if not isinstance(pg, ProfiledGraph):
+        raise TypeError(f"worker bootstrap blob decoded to {type(pg).__name__}")
+    return pg
+
+
+def reanchor_result(result: PCSResult, taxonomy: Taxonomy) -> PCSResult:
+    """Re-tie a worker-computed result's subtrees to the parent taxonomy.
+
+    Unpickled results reference the worker's taxonomy *copy*; subtree node
+    ids are identical, only the anchoring object differs. Rebuilds each
+    community with a parent-anchored :class:`PTree` (node sets were
+    validated at construction, so the copies skip the closure check) and
+    returns the same :class:`PCSResult` mutated in place.
+    """
+    result.communities = [
+        dataclasses.replace(
+            community,
+            subtree=PTree(taxonomy, community.subtree.nodes, _validated=True),
+        )
+        for community in result.communities
+    ]
+    return result

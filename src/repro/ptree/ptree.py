@@ -62,6 +62,14 @@ class PTree:
     def __setattr__(self, name: str, value: object) -> None:  # immutability
         raise AttributeError("PTree instances are immutable")
 
+    def __reduce__(self):
+        # Default slot-based pickling would call __setattr__ (blocked above);
+        # reconstruct through the constructor instead. The node set was
+        # validated when this instance was built, so the copy skips the
+        # closure check. Needed by the process-parallel serving layer, which
+        # ships PCS results (and their subtrees) between workers.
+        return (PTree, (self.taxonomy, self.nodes, True))
+
     # ------------------------------------------------------------------
     # factories
     # ------------------------------------------------------------------

@@ -1,0 +1,199 @@
+"""Hypothesis property tests for the PR-4 serving invariants.
+
+Two families:
+
+* :class:`repro.api.Query` — wire round-trip (``to_dict``/``from_dict``),
+  JSON round-trip, and ``cache_key`` invariants (post-filters excluded,
+  defaults resolve like explicit values, spellings normalise) under random
+  valid field combinations;
+* CP-tree **shard-merge ≡ whole-build** — for random small profiled
+  graphs and random shard counts, building per-label CL-trees in shards
+  and merging (:func:`repro.parallel.merge_shard_builds`, the parallel
+  build's merge path) is observationally identical to the sequential
+  constructor.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import Query
+from repro.core.search import ALL_METHODS
+from repro.datasets.synthetic import simple_profiled_graph
+from repro.errors import InvalidInputError
+from repro.index.cptree import CPTree
+from repro.parallel import (
+    build_shard_cltrees,
+    label_weights,
+    merge_shard_builds,
+    shard_labels,
+)
+from repro.ptree.taxonomy import Taxonomy
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# ----------------------------------------------------------------------
+# Query strategies: every combination a client could legally send
+# ----------------------------------------------------------------------
+vertices = st.one_of(
+    st.integers(min_value=0, max_value=10_000),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        min_size=1,
+        max_size=8,
+    ),
+)
+
+#: Casing variants the spelling table must collapse.
+methods = st.one_of(
+    st.none(),
+    st.sampled_from(ALL_METHODS).flatmap(
+        lambda m: st.sampled_from([m, m.lower(), m.upper()])
+    ),
+)
+
+cohesions = st.one_of(st.none(), st.sampled_from(["k-core", "k-truss", "k-clique"]))
+
+
+@st.composite
+def queries(draw):
+    return Query(
+        vertex=draw(vertices),
+        k=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=50))),
+        method=draw(methods),
+        cohesion=draw(cohesions),
+        limit=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=20))),
+        min_size=draw(st.integers(min_value=1, max_value=10)),
+    )
+
+
+class TestQueryProperties:
+    @SETTINGS
+    @given(query=queries())
+    def test_dict_round_trip_is_lossless(self, query):
+        assert Query.from_dict(query.to_dict()) == query
+
+    @SETTINGS
+    @given(query=queries())
+    def test_json_round_trip_is_lossless(self, query):
+        assert Query.from_dict(json.loads(json.dumps(query.to_dict()))) == query
+
+    @SETTINGS
+    @given(query=queries())
+    def test_cache_key_excludes_post_filters(self, query):
+        stripped = query.replace(limit=None, min_size=1)
+        assert stripped.cache_key() == query.cache_key()
+
+    @SETTINGS
+    @given(query=queries())
+    def test_cache_key_resolves_defaults_like_explicit_values(self, query):
+        resolved = query.replace(
+            k=query.resolved_k(), method=query.resolved_method()
+        )
+        assert resolved.cache_key() == query.cache_key()
+        # and against arbitrary session defaults, not just the paper's
+        assert query.cache_key(default_k=9, default_method="basic") == (
+            query.replace(
+                k=query.resolved_k(9), method=query.resolved_method("basic")
+            ).cache_key(default_k=9, default_method="basic")
+        )
+
+    @SETTINGS
+    @given(query=queries())
+    def test_method_spelling_never_reaches_the_key(self, query):
+        if query.method is None:
+            return
+        for variant in (query.method.lower(), query.method.upper()):
+            assert query.replace(method=variant) == query
+            assert query.replace(method=variant).cache_key() == query.cache_key()
+
+    @SETTINGS
+    @given(query=queries())
+    def test_replace_identity_and_builder_equivalence(self, query):
+        assert query.replace() == query
+        built = Query.vertex(query.vertex).k(query.k).method(query.method)
+        built = built.cohesion(query.cohesion).limit(query.limit)
+        built = built.min_size(query.min_size).build()
+        # builder can't set k=None explicitly; normalise via replace
+        assert built.replace(k=query.k) == query
+
+    @SETTINGS
+    @given(query=queries(), junk=st.text(min_size=1, max_size=10))
+    def test_unknown_keys_rejected(self, query, junk):
+        payload = query.to_dict()
+        if junk in payload or junk == "q":
+            return
+        payload[junk] = 1
+        with pytest.raises(InvalidInputError):
+            Query.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# shard-merge ≡ whole-build on random small profiled graphs
+# ----------------------------------------------------------------------
+@st.composite
+def profiled_graphs(draw):
+    """A small random profiled graph over a random taxonomy."""
+    tax_seed = draw(st.integers(min_value=0, max_value=10_000))
+    tax_nodes = draw(st.integers(min_value=1, max_value=12))
+    rng = random.Random(tax_seed)
+    taxonomy = Taxonomy()
+    for i in range(1, tax_nodes):
+        taxonomy.add(f"L{i}", parent=rng.randrange(i))
+    n = draw(st.integers(min_value=2, max_value=16))
+    graph_seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.floats(min_value=0.05, max_value=0.6))
+    labels_per_vertex = draw(st.integers(min_value=1, max_value=4))
+    return simple_profiled_graph(
+        taxonomy,
+        n,
+        seed=graph_seed,
+        edge_probability=p,
+        labels_per_vertex=labels_per_vertex,
+    )
+
+
+class TestShardMergeProperties:
+    @SETTINGS
+    @given(pg=profiled_graphs(), num_shards=st.integers(min_value=1, max_value=5))
+    def test_shard_merge_equals_whole_build(self, pg, num_shards):
+        weights = label_weights(pg.all_labels())
+        shards = shard_labels(weights, num_shards)
+        parts = [build_shard_cltrees(pg, shard) for shard in shards]
+        merged = merge_shard_builds(pg, parts)
+        whole = CPTree(pg.graph, pg.all_labels(), pg.taxonomy, validate=False)
+
+        assert set(merged._nodes) == set(whole._nodes)
+        assert merged._head_map == whole._head_map
+        for label in merged.labels():
+            node, ref = merged.node(label), whole.node(label)
+            assert node.vertices == ref.vertices
+            assert (node.parent is None) == (ref.parent is None)
+            if node.parent is not None:
+                assert node.parent.label == ref.parent.label
+            assert sorted(c.label for c in node.children) == (
+                sorted(c.label for c in ref.children)
+            )
+            for q in sorted(node.vertices, key=repr)[:3]:
+                for k in (1, 2, 3):
+                    assert merged.get(k, q, label) == whole.get(k, q, label)
+        for v in pg.vertices():
+            assert merged.restore_ptree(v) == whole.restore_ptree(v)
+
+    @SETTINGS
+    @given(pg=profiled_graphs(), num_shards=st.integers(min_value=1, max_value=5))
+    def test_shard_labels_is_an_exact_partition(self, pg, num_shards):
+        weights = label_weights(pg.all_labels())
+        shards = shard_labels(weights, num_shards)
+        flat = [x for shard in shards for x in shard]
+        assert sorted(flat) == sorted(weights)
+        assert len(flat) == len(set(flat))
+        assert len(shards) <= num_shards
