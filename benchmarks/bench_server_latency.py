@@ -1,0 +1,293 @@
+"""HTTP serving latency — request coalescing on vs off under concurrency.
+
+The serving PR's acceptance benchmark. A 16-client concurrent workload of
+overlapping hot queries (the thundering-herd shape: many independent users
+probing a few popular vertices at once) is driven through the real HTTP
+gateway twice:
+
+* **coalescing off** — every request is its own ``service.query`` call in
+  its own handler thread (thread-per-request serving);
+* **coalescing on** — concurrent requests merge into batch dispatches, so
+  the engine's in-batch deduplication answers each distinct query once per
+  batch instead of once per request.
+
+The served engine runs with its result cache *disabled*, which is the
+steady state this mechanism exists for: a cache can only serve what it has
+already computed, so simultaneous first arrivals of a hot query (or any
+arrival pattern racing invalidation after updates) all recompute unless
+something merges them. Coalescing is that something.
+
+Asserted:
+
+* **correctness** — per-vertex answers are identical between the modes
+  (envelope equality modulo timings), always;
+* **throughput** — coalesced serving is at least :data:`MIN_SPEEDUP`× the
+  per-request baseline. The win comes from deduplication, not process
+  parallelism, so — unlike ``bench_parallel_throughput`` — it does not
+  need multiple cores (CPython threads time-slice the same compute either
+  way); the gate therefore applies on any host, with the core count
+  recorded for diagnosis. Like the PR-4 gate it is smoke-aware: smoke mode
+  shrinks the dataset and the request volume, not the assertion.
+
+Reported: p50/p95/p99 latency and queries/sec for both modes.
+
+Runs two ways, like the other acceptance benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server_latency.py --smoke
+    PYTHONPATH=src python benchmarks/bench_server_latency.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import CommunityService, Query
+from repro.bench import Table, make_workload, save_tables, smoke_mode
+from repro.parallel import recommended_workers
+from repro.server import CommunityGateway, ServerClient
+
+#: Acceptance floor: coalesced throughput over thread-per-request serving.
+MIN_SPEEDUP = 1.5
+
+#: Concurrent clients (the acceptance criterion is stated at 16).
+CLIENTS = 16
+
+#: Distinct hot vertices the clients contend on; the per-batch dedup bound
+#: is CLIENTS/DISTINCT = 4x, so the 1.5x gate has real headroom.
+DISTINCT = 4
+
+#: ``basic`` is the heaviest per-query compute: the measurement isolates
+#: what coalescing saves (repeated computation) from HTTP overhead.
+METHOD = "basic"
+
+#: Window the coalescer holds a batch open. Generous relative to per-query
+#: compute so concurrent arrivals actually share batches.
+WINDOW = 0.01
+
+K = 6
+
+
+def requests_per_client() -> int:
+    return 4 if smoke_mode() else 8
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _drive_clients(host: str, port: int, vertices, requests: int):
+    """16 client threads, each with its own connection; returns
+    (wall_seconds, latencies, envelopes-by-vertex)."""
+    latencies = []
+    envelopes = {}
+    errors = []
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(CLIENTS + 1)
+
+    def worker(worker_id: int) -> None:
+        try:
+            with ServerClient(host, port) as client:
+                start_barrier.wait()
+                for i in range(requests):
+                    vertex = vertices[(worker_id + i) % len(vertices)]
+                    t0 = time.perf_counter()
+                    payload = client.query_raw(
+                        Query(vertex=vertex, k=K, method=METHOD).to_dict()
+                    )
+                    elapsed = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(elapsed)
+                        envelopes.setdefault(vertex, payload)
+        except Exception as exc:  # noqa: BLE001 - surfaced in the assertion
+            with lock:
+                errors.append(exc)
+            try:
+                start_barrier.abort()
+            except threading.BrokenBarrierError:  # pragma: no cover
+                pass
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    try:
+        start_barrier.wait()
+    except threading.BrokenBarrierError:
+        pass  # a worker failed during connect; its error is in `errors`
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    if errors:
+        # Surface the root cause, not a sympathetic BrokenBarrierError
+        # raised in workers that were already waiting when one aborted.
+        root = [e for e in errors if not isinstance(e, threading.BrokenBarrierError)]
+        raise (root or errors)[0]
+    return wall, sorted(latencies), envelopes
+
+
+def _measure_mode(pg, vertices, coalesce: bool, requests: int) -> dict:
+    # cache_size=0: every arrival recomputes unless coalescing merges it —
+    # the thundering-herd scenario this benchmark isolates (see module doc).
+    service = CommunityService(pg, cache_size=0)
+    with CommunityGateway(
+        service, port=0, coalesce=coalesce, coalesce_window=WINDOW, warm=True
+    ) as gateway:
+        host, port = gateway.address
+        wall, latencies, envelopes = _drive_clients(host, port, vertices, requests)
+        coalescer = gateway.coalescer.stats() if gateway.coalescer else None
+        engine = service.stats()
+    total = CLIENTS * requests
+    return {
+        "coalesce": coalesce,
+        "requests": total,
+        "wall_seconds": wall,
+        "throughput_qps": total / wall if wall else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p95_ms": _percentile(latencies, 0.95) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "computed": engine.queries_served,
+        "mean_batch": coalescer["mean_batch_size"] if coalescer else 1.0,
+        "envelopes": envelopes,
+    }
+
+
+def _strip_timings(envelope: dict) -> dict:
+    """Drop fields legally differing between modes (timings only — both
+    modes run cache-off at one graph version, so provenance must match)."""
+    cleaned = dict(envelope)
+    cleaned.pop("elapsed_ms", None)
+    return cleaned
+
+
+def measure(pg, vertices, requests: int) -> dict:
+    off = _measure_mode(pg, vertices, coalesce=False, requests=requests)
+    on = _measure_mode(pg, vertices, coalesce=True, requests=requests)
+    mismatched = [
+        v
+        for v in vertices
+        if _strip_timings(off["envelopes"][v]) != _strip_timings(on["envelopes"][v])
+    ]
+    for mode in (off, on):
+        mode.pop("envelopes")
+    return {
+        "clients": CLIENTS,
+        "distinct_vertices": len(vertices),
+        "method": METHOD,
+        "cores": recommended_workers(),
+        "uncoalesced": off,
+        "coalesced": on,
+        "speedup": on["throughput_qps"] / off["throughput_qps"]
+        if off["throughput_qps"]
+        else 0.0,
+        "all_equal": not mismatched,
+        "mismatched_vertices": [repr(v) for v in mismatched],
+    }
+
+
+def _render(name: str, report: dict) -> Table:
+    table = Table(
+        "HTTP serving — coalesced vs per-request dispatch "
+        f"({report['clients']} concurrent clients)",
+        ["dataset", "mode", "qps", "p50 ms", "p95 ms", "p99 ms", "computed"],
+    )
+    for label, mode in (("per-request", "uncoalesced"), ("coalesced", "coalesced")):
+        row = report[mode]
+        table.add_row(
+            name,
+            label,
+            round(row["throughput_qps"], 1),
+            round(row["p50_ms"], 2),
+            round(row["p95_ms"], 2),
+            round(row["p99_ms"], 2),
+            row["computed"],
+        )
+    return table
+
+
+def _check(name: str, report: dict) -> list:
+    failures = []
+    if not report["all_equal"]:
+        failures.append(
+            f"{name}: coalesced answers differ from per-request answers "
+            f"for {report['mismatched_vertices']}"
+        )
+    if report["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"{name}: coalescing only {report['speedup']:.2f}x per-request "
+            f"throughput (need >= {MIN_SPEEDUP}x; mean batch "
+            f"{report['coalesced']['mean_batch']:.1f}, {report['cores']} core(s))"
+        )
+    return failures
+
+
+@pytest.mark.smoke
+def test_server_latency(datasets):
+    """Coalesced HTTP serving: identical answers, >=1.5x throughput."""
+    pg = datasets["acmdl"]
+    vertices = make_workload(pg, "acmdl", num_queries=DISTINCT, k=K, seed=7).queries
+    report = measure(pg, list(vertices), requests_per_client())
+    table = _render("acmdl", report)
+    table.show()
+    save_tables("server_latency", [table], extra={"measurements": {"acmdl": report}})
+    failures = _check("acmdl", report)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (used by the CI benchmark-smoke job)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI fast path")
+    parser.add_argument("--dataset", default="acmdl")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client (default 8; smoke 4)")
+    parser.add_argument("--out", default=None,
+                        help="results name (default server_latency[_smoke])")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        import os
+
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+
+    from conftest import BENCH_SCALES, bench_scale
+
+    from repro.datasets import load_dataset
+
+    if args.dataset not in BENCH_SCALES:
+        parser.error(
+            f"unknown dataset {args.dataset!r}; choose from {sorted(BENCH_SCALES)}"
+        )
+    pg = load_dataset(args.dataset, scale=bench_scale(args.dataset))
+    vertices = make_workload(
+        pg, args.dataset, num_queries=DISTINCT, k=K, seed=7
+    ).queries
+    report = measure(pg, list(vertices), args.requests or requests_per_client())
+    table = _render(args.dataset, report)
+    table.show()
+    result_name = args.out or (
+        "server_latency_smoke" if smoke_mode() else "server_latency"
+    )
+    path = save_tables(
+        result_name, [table], extra={"measurements": {args.dataset: report}}
+    )
+    print(f"\nwrote {path}")
+
+    failures = _check(args.dataset, report)
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print(f"OK: coalescing {report['speedup']:.2f}x "
+          f"(mean batch {report['coalesced']['mean_batch']:.1f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ class CoverSummary:
     top_branches: Tuple[Tuple[str, int], ...]
 
     def digest(self) -> str:
+        """A short one-line rendering of the cover statistics."""
         branches = ", ".join(f"{name}×{count}" for name, count in self.top_branches)
         return (
             f"{self.num_communities} communities covering "

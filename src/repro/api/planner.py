@@ -69,6 +69,7 @@ class BatchPlan:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BatchPlan":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
         if not isinstance(payload, dict):
             raise InvalidInputError(
                 f"BatchPlan.from_dict needs a mapping, got {payload!r}"
@@ -102,6 +103,7 @@ class PlanDecision:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "PlanDecision":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
         if not isinstance(payload, dict):
             raise InvalidInputError(
                 f"PlanDecision.from_dict needs a mapping, got {payload!r}"

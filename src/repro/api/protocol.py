@@ -4,8 +4,9 @@ Anything that serves PCS queries on behalf of :func:`repro.core.search.pcs`
 must look like an engine: own a profiled graph (``pg``), answer single
 queries (``explore``), answer batches (``explore_many``) and report serving
 counters (``stats``). :class:`~repro.engine.explorer.CommunityExplorer` is
-the canonical implementation; future sharded/async/remote engines implement
-the same protocol and become drop-in ``engine=`` arguments.
+the canonical implementation and :class:`~repro.parallel.ParallelExplorer`
+the process-sharded one; any further engine (async, remote, multi-backend)
+implements the same protocol and becomes a drop-in ``engine=`` argument.
 
 The protocol is ``runtime_checkable`` so call sites can *verify* conformance
 instead of silently duck-typing (``isinstance(obj, Engine)`` checks member

@@ -90,6 +90,7 @@ class CommunityView:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CommunityView":
+        """Inverse of :meth:`to_dict`; malformed payloads raise."""
         try:
             return cls(
                 vertices=tuple(payload["vertices"]),

@@ -1,7 +1,7 @@
 """The :class:`CommunityService` session — the serving substrate of the API.
 
-The service is the one object every front end (CLI, benchmarks, future
-sharding/async/remote layers) talks to. It owns a
+The service is the one object every front end (CLI, benchmarks, and the
+:mod:`repro.server` HTTP gateway) talks to. It owns a
 :class:`~repro.engine.explorer.CommunityExplorer`, runs every request
 through a middleware chain, lets the :class:`~repro.api.planner.QueryPlanner`
 pick an execution method when the caller didn't, and answers with
@@ -61,6 +61,7 @@ class ValidationMiddleware(Middleware):
     """
 
     def before(self, query: Query, service: "CommunityService") -> Optional[Query]:
+        """Raise :class:`VertexNotFoundError` for vertices not being served."""
         if query.vertex not in service.pg:
             raise VertexNotFoundError(query.vertex)
         return None
@@ -75,6 +76,7 @@ class ResultLimitMiddleware(Middleware):
         self.max_limit = max_limit
 
     def before(self, query: Query, service: "CommunityService") -> Optional[Query]:
+        """Rewrite the query so its ``limit`` never exceeds the cap."""
         if query.limit is None or query.limit > self.max_limit:
             return query.replace(limit=self.max_limit)
         return None
@@ -92,6 +94,7 @@ class MetricsMiddleware(Middleware):
     def after(
         self, query: Query, response: QueryResponse, service: "CommunityService"
     ) -> Optional[QueryResponse]:
+        """Fold this response into the running aggregates."""
         self.responses += 1
         self.communities_returned += response.returned
         self.cache_hits += 1 if response.cache_hit else 0
@@ -340,6 +343,7 @@ class CommunityService:
         return self._explorer.stats()
 
     def clear_cache(self) -> None:
+        """Drop all cached results (see :meth:`CommunityExplorer.clear_cache`)."""
         self._explorer.clear_cache()
 
     def close(self) -> None:

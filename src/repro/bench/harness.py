@@ -45,6 +45,7 @@ class Table:
     rows: List[Sequence[object]] = field(default_factory=list)
 
     def add_row(self, *values: object) -> None:
+        """Append one row (cell count must match the columns)."""
         if len(values) != len(self.columns):
             raise ValueError(
                 f"row has {len(values)} cells, table has {len(self.columns)} columns"
@@ -52,6 +53,7 @@ class Table:
         self.rows.append(values)
 
     def render(self) -> str:
+        """The table as aligned text (title, header, rows)."""
         cells = [[str(c) for c in self.columns]] + [
             [_fmt(v) for v in row] for row in self.rows
         ]
@@ -65,6 +67,7 @@ class Table:
         return "\n".join(lines)
 
     def show(self) -> None:
+        """Print :meth:`render` with a leading blank line."""
         print()
         print(self.render())
 

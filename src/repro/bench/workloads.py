@@ -87,12 +87,14 @@ class ThroughputReport:
 
     @property
     def queries_per_second(self) -> float:
+        """Serving rate over the measured wall-clock window."""
         if self.elapsed_seconds <= 0:
             return float("inf") if self.queries else 0.0
         return self.queries / self.elapsed_seconds
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of lookups served from the result cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
@@ -169,11 +171,13 @@ class ColdWarmReport:
 
     @property
     def warm_ms_per_query(self) -> float:
+        """Mean per-query latency of the warm (engine) pass."""
         t = self.throughput
         return t.elapsed_seconds / max(1, t.queries) * 1000.0
 
     @property
     def speedup(self) -> float:
+        """Cold per-query latency over warm per-query latency."""
         warm = self.warm_ms_per_query
         return self.cold_ms_per_query / warm if warm > 0 else float("inf")
 
@@ -435,12 +439,14 @@ class UpdateThroughputReport:
 
     @property
     def speedup(self) -> float:
+        """Rebuild-per-edit latency over incremental-maintenance latency."""
         if self.incremental_ms_per_edit <= 0:
             return float("inf")
         return self.rebuild_ms_per_edit / self.incremental_ms_per_edit
 
     @property
     def edits_per_second(self) -> float:
+        """Incremental-path edit rate over the measured window."""
         if self.incremental_ms_per_edit <= 0:
             return float("inf")
         return 1000.0 / self.incremental_ms_per_edit

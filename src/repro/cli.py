@@ -44,6 +44,16 @@ maintenance + cache invalidation), then optionally re-query::
 Measure cold- vs warm-index engine throughput::
 
     python -m repro bench-engine --dataset acmdl --num-queries 10 --repeat 3
+
+Serve a dataset over HTTP (request coalescing on by default; port 0 binds
+an ephemeral port and prints it; Ctrl-C drains and exits)::
+
+    python -m repro serve --dataset acmdl --scale 0.01 --port 8437 --parallel 4
+
+then, from any HTTP client::
+
+    curl -s localhost:8437/healthz
+    curl -s -X POST localhost:8437/query -d '{"vertex": 17, "k": 6}'
 """
 
 from __future__ import annotations
@@ -96,6 +106,7 @@ def _method_arg(method: Optional[str]) -> Optional[str]:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: one PCS query, text or JSON envelope."""
     pg = _load(args)
     if args.query is None:
         candidates = random_queries(pg.graph, 1, args.k, seed=args.seed)
@@ -136,6 +147,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: Table-2 statistics of a dataset."""
     pg = _load(args)
     stats = pg.stats()
     print(f"dataset      : {args.dataset}")
@@ -148,6 +160,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
+    """``repro export``: write a generated dataset to JSON."""
     pg = _load(args)
     save_profiled_graph(pg, args.out)
     print(f"wrote {args.out}")
@@ -155,6 +168,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    """``repro batch``: serve a query file through one service session."""
     pg = _load(args)
     queries = load_queries(
         args.queries, default_k=args.k, default_method=_method_arg(args.method)
@@ -195,6 +209,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_update(args: argparse.Namespace) -> int:
+    """``repro update``: apply an edit file through the mutation pipeline."""
     pg = _load(args)
     updates = load_update_file(args.edits)
     if not updates:
@@ -251,6 +266,7 @@ def cmd_update(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_engine(args: argparse.Namespace) -> int:
+    """``repro bench-engine``: cold vs warm engine throughput."""
     from repro.bench import make_workload, measure_cold_warm, measure_facade_overhead
 
     pg = _load(args)
@@ -300,7 +316,44 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the HTTP gateway until interrupted."""
+    from repro.server import CommunityGateway
+
+    pg = _load(args)
+    service = CommunityService(
+        pg, parallel=args.parallel, max_workers=args.workers, max_limit=args.limit
+    )
+    gateway = CommunityGateway(
+        service,
+        host=args.host,
+        port=args.port,
+        coalesce=not args.no_coalesce,
+        coalesce_window=args.coalesce_window,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        warm=not args.no_warm,
+        log_requests=args.log_requests,
+    )
+    with gateway:
+        host, port = gateway.address
+        mode = "off" if args.no_coalesce else f"{args.coalesce_window * 1000:.1f} ms window"
+        print(f"serving {args.dataset} at http://{host}:{port} "
+              f"(coalescing: {mode}, workers: {args.parallel or 1})", flush=True)
+        print("endpoints: POST /query /batch /update · GET /healthz /stats /metrics",
+              flush=True)
+        try:
+            gateway.wait()
+        except KeyboardInterrupt:
+            print("\nshutting down (draining in-flight requests)...", flush=True)
+    stats = service.stats()
+    print(f"served {stats.queries_served} queries "
+          f"(cache hit rate {stats.cache_hit_rate:.0%})", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (one subcommand per workflow)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Profiled community search (PCS) — ICDE'19 reproduction",
@@ -372,6 +425,33 @@ def build_parser() -> argparse.ArgumentParser:
     u.add_argument("--out", help="write a JSON report here")
     u.set_defaults(func=cmd_update)
 
+    sv = sub.add_parser("serve", help="serve a dataset over HTTP (repro.server)")
+    add_dataset_args(sv)
+    sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    sv.add_argument("--port", type=int, default=8437,
+                    help="bind port (0 = ephemeral; the bound port is printed)")
+    sv.add_argument("--parallel", type=int, default=None,
+                    help="worker process count (coalesced batches past the "
+                         "planner threshold shard across the fleet)")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="thread-pool width inside the process")
+    sv.add_argument("--limit", type=int, default=None,
+                    help="cap communities per response (service max_limit)")
+    sv.add_argument("--no-coalesce", action="store_true",
+                    help="serve each request individually (no batching window)")
+    sv.add_argument("--coalesce-window", type=float, default=0.005,
+                    dest="coalesce_window", metavar="SECONDS",
+                    help="how long a batch waits for company (default 5 ms)")
+    sv.add_argument("--max-batch", type=int, default=64, dest="max_batch",
+                    help="dispatch immediately at this queue depth (default 64)")
+    sv.add_argument("--max-queue", type=int, default=256, dest="max_queue",
+                    help="admission bound; beyond it requests get 429 (default 256)")
+    sv.add_argument("--no-warm", action="store_true",
+                    help="skip the eager index build at startup")
+    sv.add_argument("--log-requests", action="store_true",
+                    help="one access-log line per request on stderr")
+    sv.set_defaults(func=cmd_serve)
+
     be = sub.add_parser("bench-engine", help="cold vs warm engine throughput")
     add_dataset_args(be)
     be.add_argument("--k", type=int, default=6)
@@ -390,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -92,6 +92,7 @@ class FractionalKCoreCohesion(CohesionModel):
     def within(
         self, graph: Graph, candidates: Iterable[Vertex], k: int, q: Vertex
     ) -> FrozenSet[Vertex]:
+        """Degree floor for a fractional core: ``ceil(fraction * k)``."""
         if self.delta == 1.0:
             return k_core_within(graph, candidates, k, q=q)
         adj = graph.adjacency()

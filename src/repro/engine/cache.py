@@ -58,6 +58,18 @@ class CacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """A JSON-ready snapshot (used by ``/stats`` and JSON reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class LRUCache:
     """A bounded mapping with LRU eviction and hit/miss counters.
@@ -160,11 +172,13 @@ class LRUCache:
             self._data.clear()
 
     def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction/invalidation counters."""
         with self._lock:
             self._hits = self._misses = self._evictions = 0
             self._invalidations = 0
 
     def stats(self) -> CacheStats:
+        """An immutable :class:`CacheStats` snapshot."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,

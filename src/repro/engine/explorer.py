@@ -26,8 +26,11 @@ embodiment of that claim:
   (only the per-label CL-trees an edit touched), with the time charged to
   :attr:`EngineStats.maintenance_seconds`.
 
-Every future scaling layer (sharding, async serving, multi-backend) is
-expected to sit on top of this object rather than on raw ``pcs()`` calls.
+Every scaling layer sits on top of this object rather than on raw
+``pcs()`` calls: :class:`repro.parallel.ParallelExplorer` subclasses it to
+shard batches across worker processes, :class:`repro.api.CommunityService`
+wraps it behind the public facade, and the :mod:`repro.server` HTTP
+gateway coalesces independent clients into its batch path.
 """
 
 from __future__ import annotations
@@ -176,6 +179,18 @@ class EngineStats:
     def invalidations(self) -> int:
         """Cached results discarded because the graph moved past their version."""
         return self.cache.invalidations
+
+    def to_dict(self) -> dict:
+        """A JSON-ready snapshot (the ``engine`` block of ``/stats``)."""
+        return {
+            "queries_served": self.queries_served,
+            "batches": self.batches,
+            "cache": self.cache.to_dict(),
+            "index_builds": self.index_builds,
+            "index_build_seconds": self.index_build_seconds,
+            "updates_applied": self.updates_applied,
+            "maintenance_seconds": self.maintenance_seconds,
+        }
 
 
 @dataclass
@@ -648,6 +663,7 @@ class CommunityExplorer:
     # bookkeeping
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
+        """An immutable :class:`EngineStats` snapshot of the serving counters."""
         with self._counters.lock:
             return EngineStats(
                 queries_served=self._counters.queries_served,
@@ -671,6 +687,7 @@ class CommunityExplorer:
         self._cache.clear()
 
     def reset_stats(self) -> None:
+        """Zero every serving counter (cache stats included)."""
         self._cache.reset_stats()
         with self._counters.lock:
             self._counters.queries_served = 0

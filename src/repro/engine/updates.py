@@ -98,6 +98,19 @@ class GraphUpdate:
             return cls(op=op, u=item[1], v=item[2] if len(item) > 2 else None)
         raise InvalidInputError(f"cannot interpret {item!r} as a GraphUpdate")
 
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping; lossless through :meth:`coerce`.
+
+        ``v``/``labels`` are omitted when unset, so the wire form matches
+        what a hand-written edit file would say.
+        """
+        payload: dict = {"op": self.op, "u": self.u}
+        if self.v is not None:
+            payload["v"] = self.v
+        if self.labels is not None:
+            payload["labels"] = list(self.labels)
+        return payload
+
 
 @dataclass(frozen=True)
 class UpdateReceipt:

@@ -70,6 +70,7 @@ class DiGraph:
         return iter(self._out)
 
     def arcs(self) -> Iterator[Arc]:
+        """Iterate over all arcs as ``(tail, head)`` pairs."""
         for u, nbrs in self._out.items():
             for v in nbrs:
                 yield (u, v)

@@ -91,12 +91,14 @@ class UpdateJournal:
         self.dirty_labels |= labels_u & labels_v
 
     def record_vertex_added(self, v: Vertex, labels: NodeSet) -> None:
+        """Journal a vertex insertion (dirties the labels it carries)."""
         for t in labels:
             self._touch(t, v)
         self.reprofiled.add(v)
         self.dropped.discard(v)
 
     def record_vertex_removed(self, v: Vertex, labels: NodeSet) -> None:
+        """Journal a vertex removal (dirties the labels it carried)."""
         for t in labels:
             self._touch(t, v)
         self.reprofiled.discard(v)
@@ -113,6 +115,7 @@ class UpdateJournal:
         self.full = True
 
     def clear(self) -> None:
+        """Forget all journaled damage (after a repair or rebuild)."""
         self.dirty_labels.clear()
         self.touched.clear()
         self.reprofiled.clear()

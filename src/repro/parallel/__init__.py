@@ -20,7 +20,8 @@ how it uses a whole machine:
   :meth:`repro.api.planner.QueryPlanner.plan_batch`.
 
 Front doors: ``CommunityService(pg, parallel=N)``, ``repro batch
---parallel N``, and ``bench/workloads`` throughput helpers on a
+--parallel N``, ``repro serve --parallel N`` (coalesced HTTP batches shard
+across the fleet), and ``bench/workloads`` throughput helpers on a
 :class:`ParallelExplorer`.
 """
 

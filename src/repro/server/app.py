@@ -1,0 +1,290 @@
+"""HTTP application logic: routing, payload (de)serialisation, error mapping.
+
+The request cycle is transport-free — :func:`handle_request` maps
+``(method, path, body)`` to an :class:`HttpResponse` using only the
+gateway's public surface — so every route and every error path is testable
+without opening a socket. :class:`GatewayRequestHandler` is the thin
+:class:`~http.server.BaseHTTPRequestHandler` adapter the real server runs.
+
+Routes
+------
+``POST /query``
+    One :meth:`Query.to_dict() <repro.api.query.Query.to_dict>` payload in,
+    one :meth:`QueryResponse.to_dict()
+    <repro.api.response.QueryResponse.to_dict>` envelope out. Goes through
+    the request coalescer when the gateway has one.
+``POST /batch``
+    ``{"queries": [...]}`` (or a bare list) in; ``{"count", "batch_plan",
+    "results"}`` out — the planner's inline-vs-parallel decision rides
+    along like ``repro batch`` emits it.
+``POST /update``
+    ``{"updates": [...]}`` (or a bare list) of
+    :class:`~repro.engine.updates.GraphUpdate` mappings in; the
+    :class:`~repro.engine.updates.UpdateReceipt` out. Applied through the
+    mutation-safe engine path (versioned cache invalidation + incremental
+    index repair).
+``GET /healthz``, ``GET /stats``, ``GET /metrics``
+    Liveness, JSON counters, Prometheus text.
+
+Error contract (all JSON, ``{"error": {"type", "message"}}``): malformed
+JSON or invalid fields → 400; unknown vertex → 404; unknown route → 404;
+wrong verb on a known route → 405 (with ``Allow``); body too large → 413;
+admission-control overflow → 429 (with ``Retry-After``); draining → 503
+(with ``Retry-After``); anything unexpected → 500.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler
+from typing import Callable, Dict, Tuple
+
+from repro.api.query import Query
+from repro.engine.updates import GraphUpdate
+from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.server.coalescer import CoalescerClosedError, QueueFullError
+from repro.version import __version__
+
+__all__ = ["HttpResponse", "handle_request", "GatewayRequestHandler", "ROUTES"]
+
+_JSON = "application/json"
+#: Prometheus text exposition format.
+_METRICS_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One materialised HTTP answer (status, body, extra headers)."""
+
+    status: int
+    body: bytes
+    content_type: str = _JSON
+    headers: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+
+def _json_response(status: int, payload: dict, headers: Tuple = ()) -> HttpResponse:
+    body = json.dumps(payload, indent=2).encode("utf-8")
+    return HttpResponse(status=status, body=body, headers=tuple(headers))
+
+
+def _error(status: int, err_type: str, message: str, headers: Tuple = ()) -> HttpResponse:
+    return _json_response(
+        status, {"error": {"type": err_type, "message": message}}, headers=headers
+    )
+
+
+def _retry_after_header(seconds: float) -> Tuple[Tuple[str, str], ...]:
+    """``Retry-After`` takes integer seconds; round up so 0 never appears."""
+    return (("Retry-After", str(max(1, int(seconds + 0.999)))),)
+
+
+def _parse_json(body: bytes):
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise InvalidInputError(f"request body is not valid JSON: {exc}") from exc
+
+
+def _items_payload(payload, key: str) -> list:
+    """Unwrap ``{key: [...]}`` (or accept a bare list) into the item list."""
+    if isinstance(payload, list):
+        items = payload
+    elif isinstance(payload, dict):
+        if set(payload) - {key}:
+            raise InvalidInputError(
+                f"unknown fields {sorted(set(payload) - {key})}; "
+                f"expected {{'{key}': [...]}} or a bare list"
+            )
+        items = payload.get(key)
+    else:
+        raise InvalidInputError(
+            f"expected {{'{key}': [...]}} or a bare list, got {type(payload).__name__}"
+        )
+    if not isinstance(items, list):
+        raise InvalidInputError(f"'{key}' must be a list, got {type(items).__name__}")
+    if not items:
+        raise InvalidInputError(f"'{key}' must not be empty")
+    return items
+
+
+# ----------------------------------------------------------------------
+# endpoint handlers: (gateway, body) -> HttpResponse
+# ----------------------------------------------------------------------
+def _handle_query(gateway, body: bytes) -> HttpResponse:
+    query = Query.from_dict(_parse_json(body))
+    response = gateway.dispatch_query(query)
+    return _json_response(200, response.to_dict())
+
+
+def _handle_batch(gateway, body: bytes) -> HttpResponse:
+    items = _items_payload(_parse_json(body), "queries")
+    queries = [Query.from_dict(item) for item in items]
+    plan = gateway.service.plan_batch(len(queries))
+    responses = gateway.service.batch(queries)
+    return _json_response(
+        200,
+        {
+            "count": len(responses),
+            "batch_plan": plan.to_dict(),
+            "results": [r.to_dict() for r in responses],
+        },
+    )
+
+
+def _handle_update(gateway, body: bytes) -> HttpResponse:
+    items = _items_payload(_parse_json(body), "updates")
+    updates = [GraphUpdate.coerce(item) for item in items]
+    receipt = gateway.service.apply_updates(updates)
+    return _json_response(
+        200, {"receipt": receipt.to_dict(), "graph_version": receipt.version}
+    )
+
+
+def _handle_healthz(gateway, body: bytes) -> HttpResponse:
+    return _json_response(200, gateway.health())
+
+
+def _handle_stats(gateway, body: bytes) -> HttpResponse:
+    return _json_response(200, gateway.stats())
+
+
+def _handle_metrics(gateway, body: bytes) -> HttpResponse:
+    return HttpResponse(
+        status=200,
+        body=gateway.metrics_text().encode("utf-8"),
+        content_type=_METRICS_TEXT,
+    )
+
+
+#: ``(method, path) -> handler``; the single routing table.
+ROUTES: Dict[Tuple[str, str], Callable] = {
+    ("POST", "/query"): _handle_query,
+    ("POST", "/batch"): _handle_batch,
+    ("POST", "/update"): _handle_update,
+    ("GET", "/healthz"): _handle_healthz,
+    ("GET", "/stats"): _handle_stats,
+    ("GET", "/metrics"): _handle_metrics,
+}
+
+_KNOWN_PATHS = {path for _, path in ROUTES}
+
+#: Counter bucket for paths outside the routing table, so endpoint
+#: counters (and /metrics label cardinality) stay bounded under scanners.
+UNKNOWN_ENDPOINT = "(unknown)"
+
+
+def normalize_path(path: str) -> str:
+    """Canonical routing form: query string stripped, trailing ``/`` folded."""
+    return path.split("?", 1)[0].rstrip("/") or "/"
+
+
+def endpoint_label(path: str) -> str:
+    """The bounded counter label for a request path."""
+    normalized = normalize_path(path)
+    return normalized if normalized in _KNOWN_PATHS else UNKNOWN_ENDPOINT
+
+
+def handle_request(gateway, method: str, path: str, body: bytes) -> HttpResponse:
+    """Route one request and map every failure mode to its status code."""
+    path = normalize_path(path)
+    if len(body) > gateway.max_body_bytes:
+        return _error(
+            413,
+            "payload_too_large",
+            f"request body exceeds {gateway.max_body_bytes} bytes",
+        )
+    handler = ROUTES.get((method, path))
+    if handler is None:
+        if path in _KNOWN_PATHS:
+            allowed = sorted(m for m, p in ROUTES if p == path)
+            return _error(
+                405,
+                "method_not_allowed",
+                f"{method} not allowed on {path} (allowed: {', '.join(allowed)})",
+                headers=(("Allow", ", ".join(allowed)),),
+            )
+        return _error(404, "not_found", f"unknown endpoint {path!r}")
+    try:
+        return handler(gateway, body)
+    except QueueFullError as exc:
+        return _error(
+            429,
+            "queue_full",
+            str(exc),
+            headers=_retry_after_header(exc.retry_after),
+        )
+    except CoalescerClosedError as exc:
+        return _error(503, "draining", str(exc), headers=_retry_after_header(1.0))
+    except VertexNotFoundError as exc:
+        return _error(404, "vertex_not_found", str(exc))
+    except InvalidInputError as exc:
+        return _error(400, "invalid_input", str(exc))
+    except Exception as exc:  # noqa: BLE001 - the wire boundary
+        return _error(500, "internal", f"{type(exc).__name__}: {exc}")
+
+
+class GatewayRequestHandler(BaseHTTPRequestHandler):
+    """The socket-facing adapter around :func:`handle_request`.
+
+    HTTP/1.1 with explicit ``Content-Length`` on every response, so client
+    connections can be reused across requests (the bench and the thin
+    client both keep one connection per thread). Access logging is off by
+    default; construct the gateway with ``log_requests=True`` for one line
+    per request on stderr.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-server/{__version__}"
+    #: POST bodies arrive as a second segment after the headers; without
+    #: TCP_NODELAY the reply can stall ~40 ms behind a delayed ACK.
+    disable_nagle_algorithm = True
+    #: Idle keep-alive connections drop after this many seconds, bounding
+    #: how long a graceful close can wait on a silent client.
+    timeout = 10
+
+    def _dispatch(self, method: str) -> None:
+        gateway = self.server.gateway  # type: ignore[attr-defined]
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length > gateway.max_body_bytes:
+            # Refuse before reading: the limit must bound memory, not just
+            # parsing. The unread body poisons the connection for keep-alive,
+            # so close it.
+            response = _error(
+                413,
+                "payload_too_large",
+                f"request body exceeds {gateway.max_body_bytes} bytes",
+                headers=(("Connection", "close"),),
+            )
+            self.close_connection = True
+        else:
+            body = self.rfile.read(length) if length > 0 else b""
+            response = handle_request(gateway, method, self.path, body)
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            for key, value in response.headers:
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage
+        gateway.record_request(method, endpoint_label(self.path), response.status)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Route a GET through :func:`handle_request`."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Route a POST through :func:`handle_request`."""
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Access log line; silent unless the gateway enables logging."""
+        gateway = getattr(self.server, "gateway", None)
+        if gateway is not None and gateway.log_requests:  # pragma: no cover
+            super().log_message(format, *args)

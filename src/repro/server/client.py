@@ -1,0 +1,188 @@
+"""A thin stdlib HTTP client for the serving gateway.
+
+:class:`ServerClient` speaks the wire protocol of :mod:`repro.server.app`
+and hands back the same API objects the in-process service produces —
+``client.query(...)`` returns a real
+:class:`~repro.api.response.QueryResponse` (rebuilt via ``from_dict``, so
+everything except the live ``result`` attribute survives the trip). Tests,
+examples and the latency benchmark all drive the server through this one
+class, so the protocol has exactly one client-side implementation.
+
+One client holds one persistent HTTP/1.1 connection and is **not**
+thread-safe — give each thread its own instance (connections are cheap;
+the benchmark does exactly that). Non-2xx answers raise
+:class:`ServerError` carrying the decoded error envelope, the HTTP status
+and, for 429/503, the server's ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Iterable, List, Optional, Union
+
+from repro.api.query import Query, QueryBuilder
+from repro.api.response import QueryResponse
+from repro.engine.updates import GraphUpdate
+from repro.errors import ReproError
+
+__all__ = ["ServerClient", "ServerError"]
+
+QueryLike = Union[Query, QueryBuilder, dict]
+UpdateLike = Union[GraphUpdate, tuple, dict]
+
+
+class ServerError(ReproError):
+    """A non-2xx gateway answer, with the decoded error envelope attached."""
+
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"HTTP {status} [{error_type}]: {message}")
+        self.status = status
+        self.error_type = error_type
+        self.retry_after = retry_after
+
+
+class ServerClient:
+    """Client for one gateway at ``host:port`` (see module docstring).
+
+    Usable as a context manager; :meth:`close` drops the connection.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # Request headers and JSON body go out as separate writes; with
+            # Nagle on, the body can sit behind the peer's delayed ACK for
+            # tens of milliseconds — dwarfing the query itself.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, payload=None):
+        """One round trip; returns ``(status, headers, decoded body)``.
+
+        Retries once on a stale kept-alive connection (the server may have
+        closed it between requests); protocol-level errors raise
+        :class:`ServerError`.
+        """
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                self.close()
+                if attempt:
+                    raise
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            decoded = json.loads(raw.decode("utf-8"))
+        else:
+            decoded = raw.decode("utf-8")
+        if response.status >= 400:
+            error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
+            retry_after = response.getheader("Retry-After")
+            raise ServerError(
+                response.status,
+                error.get("type", "unknown"),
+                error.get("message", str(decoded)),
+                retry_after=None if retry_after is None else float(retry_after),
+            )
+        return response.status, response, decoded
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def query(self, query: QueryLike, **overrides) -> QueryResponse:
+        """``POST /query`` — one request, one envelope.
+
+        Accepts a :class:`~repro.api.query.Query`, a builder, or a payload
+        mapping; keyword overrides patch the query like
+        :meth:`CommunityService.query <repro.api.service.CommunityService.query>`.
+        """
+        coerced = Query.coerce(query)
+        if overrides:
+            coerced = coerced.replace(**overrides)
+        return QueryResponse.from_dict(self.query_raw(coerced.to_dict()))
+
+    def query_raw(self, payload: dict) -> dict:
+        """``POST /query`` with a raw payload; the raw envelope back."""
+        _, _, decoded = self._request("POST", "/query", payload)
+        return decoded
+
+    def batch(self, queries: Iterable[QueryLike]) -> List[QueryResponse]:
+        """``POST /batch`` — answers align with the input order."""
+        decoded = self.batch_raw(
+            {"queries": [Query.coerce(q).to_dict() for q in queries]}
+        )
+        return [QueryResponse.from_dict(item) for item in decoded["results"]]
+
+    def batch_raw(self, payload: dict) -> dict:
+        """``POST /batch`` with a raw payload; includes ``batch_plan``."""
+        _, _, decoded = self._request("POST", "/batch", payload)
+        return decoded
+
+    def update(self, updates: Iterable[UpdateLike]) -> dict:
+        """``POST /update`` — apply graph edits; the receipt dict back."""
+        payload = {
+            "updates": [GraphUpdate.coerce(item).to_dict() for item in updates]
+        }
+        _, _, decoded = self._request("POST", "/update", payload)
+        return decoded
+
+    def healthz(self) -> dict:
+        """``GET /healthz`` — liveness and serving vitals."""
+        _, _, decoded = self._request("GET", "/healthz")
+        return decoded
+
+    def stats(self) -> dict:
+        """``GET /stats`` — engine/coalescer/HTTP counters as JSON."""
+        _, _, decoded = self._request("GET", "/stats")
+        return decoded
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the Prometheus text document."""
+        _, _, decoded = self._request("GET", "/metrics")
+        return decoded
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServerClient(http://{self.host}:{self.port})"

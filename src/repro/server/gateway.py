@@ -1,0 +1,286 @@
+"""The serving gateway: HTTP server lifecycle around one CommunityService.
+
+:class:`CommunityGateway` is the process's front door — it owns
+
+* a :class:`~repro.api.service.CommunityService` (constructed from a
+  profiled graph, or adopted so callers can configure middleware /
+  ``parallel=`` fleets themselves),
+* a :class:`~repro.server.coalescer.RequestCoalescer` (unless coalescing
+  is disabled) that merges concurrent ``POST /query`` traffic into batch
+  dispatches,
+* a threading HTTP server (one handler thread per connection, stdlib
+  :class:`~http.server.ThreadingHTTPServer`) speaking the wire protocol in
+  :mod:`repro.server.app`,
+* the per-endpoint request counters behind ``/stats`` and ``/metrics``.
+
+Lifecycle::
+
+    with CommunityGateway(pg, port=0) as gateway:   # port 0 = ephemeral
+        host, port = gateway.address
+        ...                                          # serve traffic
+
+:meth:`close` is a graceful drain: the listener stops accepting, queued
+coalesced requests are answered, in-flight handler threads finish, then
+the worker fleet (if any) is released. ``repro serve`` wraps this object
+for the command line; tests and benchmarks drive it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import ThreadingHTTPServer
+from typing import Dict, Optional, Tuple, Union
+
+from repro.api.query import Query
+from repro.api.response import QueryResponse
+from repro.api.service import CommunityService
+from repro.core.profiled_graph import ProfiledGraph
+from repro.server import metrics as metrics_mod
+from repro.server.app import GatewayRequestHandler
+from repro.server.coalescer import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WINDOW_SECONDS,
+    RequestCoalescer,
+)
+from repro.version import __version__
+
+__all__ = ["CommunityGateway", "DEFAULT_HOST", "DEFAULT_PORT", "DEFAULT_MAX_BODY_BYTES"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8437
+#: Request bodies past this size answer 413 before any JSON parsing.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its gateway and joins its handlers.
+
+    ``daemon_threads=False`` + ``block_on_close=True`` make
+    ``server_close()`` wait for in-flight handler threads — the second half
+    of graceful drain (the first is the coalescer flushing its queue).
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    #: socketserver's default listen backlog is 5; a burst of concurrent
+    #: clients connecting at once would overflow it and pay 1–3 s SYN
+    #: retransmit timeouts.
+    request_queue_size = 128
+
+    def __init__(self, address, handler_cls, gateway: "CommunityGateway") -> None:
+        self.gateway = gateway
+        super().__init__(address, handler_cls)
+
+
+class CommunityGateway:
+    """One HTTP serving gateway over one community-search service.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.api.service.CommunityService` to front, or a
+        :class:`~repro.core.profiled_graph.ProfiledGraph` to build a stock
+        service around.
+    host, port:
+        Bind address. ``port=0`` binds an ephemeral port; read the real
+        one from :attr:`address` after :meth:`start`.
+    coalesce:
+        Merge concurrent ``POST /query`` requests into batch dispatches
+        (see :mod:`repro.server.coalescer`). ``POST /batch`` is always a
+        direct batch call — it arrives pre-batched.
+    coalesce_window, max_batch, max_queue:
+        Coalescer tuning; ignored when ``coalesce=False``.
+    warm:
+        Build the index eagerly in :meth:`start` so the first request
+        doesn't pay for it.
+    log_requests:
+        Emit one access-log line per request on stderr.
+
+    The gateway is a context manager; ``__exit__`` drains and closes.
+    """
+
+    def __init__(
+        self,
+        service: Union[CommunityService, ProfiledGraph],
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        coalesce: bool = True,
+        coalesce_window: float = DEFAULT_WINDOW_SECONDS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        warm: bool = False,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        log_requests: bool = False,
+    ) -> None:
+        if isinstance(service, CommunityService):
+            self.service = service
+        else:
+            self.service = CommunityService(service)
+        self._host = host
+        self._port = port
+        self._coalesce = coalesce
+        self._coalesce_window = coalesce_window
+        self._max_batch = max_batch
+        self._max_queue = max_queue
+        self._warm = warm
+        self.max_body_bytes = max_body_bytes
+        self.log_requests = log_requests
+        self.coalescer: Optional[RequestCoalescer] = None
+        self._server: Optional[_GatewayHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self._closed = threading.Event()
+        self._request_counts: Dict[Tuple[str, str, int], int] = {}
+        self._counts_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CommunityGateway":
+        """Bind, spawn the accept loop, and (optionally) warm the index."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        if self._warm:
+            self.service.warm()
+        if self._coalesce:
+            self.coalescer = RequestCoalescer(
+                self.service,
+                window=self._coalesce_window,
+                max_batch=self._max_batch,
+                max_queue=self._max_queue,
+            )
+        self._server = _GatewayHTTPServer(
+            (self._host, self._port), GatewayRequestHandler, gateway=self
+        )
+        self._started_at = time.monotonic()
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-gateway",
+            daemon=True,
+        )
+        self._server_thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop serving. With ``drain`` (default) every accepted request
+        is still answered: the listener stops, the coalescer flushes its
+        queue, handler threads are joined, and only then is the service's
+        worker fleet (if any) released. Idempotent."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._server is not None:
+            self._server.shutdown()  # stop accepting new connections
+        if self.coalescer is not None:
+            self.coalescer.close(timeout=None if drain else 0.0)
+        if self._server is not None:
+            self._server.server_close()  # joins handler threads (drain)
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=10.0)
+        self.service.close()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`close` is called (the CLI's serve loop)."""
+        return self._closed.wait(timeout=timeout)
+
+    def __enter__(self) -> "CommunityGateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` bindings."""
+        if self._server is None:
+            raise RuntimeError("gateway not started")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """The bound base URL, e.g. ``http://127.0.0.1:8437``."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # request-path hooks (used by repro.server.app)
+    # ------------------------------------------------------------------
+    def dispatch_query(self, query: Query) -> QueryResponse:
+        """Serve one query — through the coalescer when it exists."""
+        if self.coalescer is not None:
+            return self.coalescer.submit(query)
+        return self.service.query(query)
+
+    def record_request(self, method: str, endpoint: str, status: int) -> None:
+        """Bump the per-endpoint counter behind ``/stats`` and ``/metrics``."""
+        key = (method, endpoint, status)
+        with self._counts_lock:
+            self._request_counts[key] = self._request_counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # observability payloads
+    # ------------------------------------------------------------------
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it)."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: liveness plus the serving vitals."""
+        pg = self.service.pg
+        return {
+            "status": "draining" if self._closed.is_set() else "ok",
+            "version": __version__,
+            "graph_version": pg.version,
+            "uptime_seconds": self.uptime_seconds,
+            "coalescing": self.coalescer is not None,
+            "queue_depth": 0 if self.coalescer is None else self.coalescer.depth,
+        }
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: engine + graph + coalescer + HTTP counters."""
+        pg = self.service.pg
+        with self._counts_lock:
+            requests = [
+                {"method": m, "endpoint": e, "status": s, "count": c}
+                for (m, e, s), c in sorted(self._request_counts.items())
+            ]
+        return {
+            "server": {
+                "uptime_seconds": self.uptime_seconds,
+                "coalescing": self.coalescer is not None,
+                "parallel_workers": self.service.parallel_workers,
+                "requests": requests,
+            },
+            "engine": self.service.stats().to_dict(),
+            "coalescer": None if self.coalescer is None else self.coalescer.stats(),
+            "graph": {
+                "vertices": pg.num_vertices,
+                "edges": pg.num_edges,
+                "version": pg.version,
+            },
+        }
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload (Prometheus text format)."""
+        pg = self.service.pg
+        with self._counts_lock:
+            http_counts = list(self._request_counts.items())
+        return metrics_mod.render_metrics(
+            self.service.stats(),
+            {"version": pg.version, "vertices": pg.num_vertices, "edges": pg.num_edges},
+            None if self.coalescer is None else self.coalescer.stats(),
+            http_counts,
+            self.uptime_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bound = self.url if self._server is not None else "unbound"
+        return f"CommunityGateway({bound}, coalesce={self.coalescer is not None})"

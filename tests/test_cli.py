@@ -275,6 +275,57 @@ class TestBenchEngine:
         assert facade["service_ms_per_query"] > 0
 
 
+class TestServe:
+    """`repro serve` end to end: a subprocess server, a real client, SIGINT."""
+
+    def test_serve_answers_and_drains_on_sigint(self):
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--dataset", "fig1",
+             "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=root,
+            env={**__import__("os").environ,
+                 "PYTHONPATH": str(root / "src")},
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving fig1 at http://127.0.0.1:" in banner
+            port = int(banner.split("http://127.0.0.1:")[1].split()[0].rstrip(")"))
+            from repro.api import Query
+            from repro.server import ServerClient
+
+            with ServerClient("127.0.0.1", port) as client:
+                assert client.healthz()["status"] == "ok"
+                assert client.query(Query(vertex="D", k=2)).returned == 2
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "served 1 queries" in out
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8437
+        assert args.coalesce_window == 0.005
+        assert args.no_coalesce is False
+        assert args.max_queue == 256
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_serve_rejects_bad_parallel(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--parallel", "not-a-number"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -47,6 +47,15 @@ def test_themed_exploration_runs():
     assert "directed PCS" in out
 
 
+def test_serving_client_runs():
+    out = run_example("serving_client.py")
+    assert "gateway up at http://" in out
+    assert "batch dispatches" in out
+    assert "graph_version advanced: 0 -> 2" in out
+    assert "prometheus agrees: repro_graph_version 2" in out
+    assert "gateway drained and closed" in out
+
+
 def test_index_scaling_runs():
     out = run_example("index_scaling.py", timeout=420)
     assert "CP-tree construction scaling" in out
@@ -56,7 +65,7 @@ def test_index_scaling_runs():
 @pytest.mark.parametrize(
     "name",
     ["quickstart.py", "seminar_planning.py", "social_circles.py",
-     "index_scaling.py", "themed_exploration.py"],
+     "index_scaling.py", "themed_exploration.py", "serving_client.py"],
 )
 def test_examples_importable(name):
     spec = importlib.util.spec_from_file_location(name[:-3], EXAMPLES / name)

@@ -1,0 +1,655 @@
+"""Tests for the HTTP serving gateway (`repro.server`).
+
+Layered like the package: coalescer semantics without any transport,
+routing/error mapping through :func:`repro.server.app.handle_request`
+without a socket, then full HTTP round-trips over a real
+:class:`~repro.server.gateway.CommunityGateway` — equivalence with direct
+:class:`~repro.api.service.CommunityService` answers on all six methods,
+coalesced vs uncoalesced agreement, admission control (429), graceful
+drain, and concurrent clients racing ``POST /update`` with every
+response's ``graph_version`` validated.
+"""
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api import CommunityService, Middleware, Query
+from repro.core import ALL_METHODS
+from repro.datasets import fig1_profiled_graph
+from repro.errors import VertexNotFoundError
+from repro.server import (
+    CoalescerClosedError,
+    CommunityGateway,
+    QueueFullError,
+    RequestCoalescer,
+    ServerClient,
+    ServerError,
+    handle_request,
+)
+
+
+@contextmanager
+def serving(pg_or_service, **kwargs):
+    """A started gateway + connected client, both torn down afterwards."""
+    gateway = CommunityGateway(pg_or_service, port=0, **kwargs)
+    gateway.start()
+    host, port = gateway.address
+    client = ServerClient(host, port)
+    try:
+        yield gateway, client
+    finally:
+        client.close()
+        gateway.close()
+
+
+class SlowMiddleware(Middleware):
+    """Hold every query for ``delay`` seconds (drain/overflow scenarios)."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def before(self, query, service):
+        time.sleep(self.delay)
+        return None
+
+
+def envelope(response, *drop):
+    payload = response.to_dict() if hasattr(response, "to_dict") else dict(response)
+    payload.pop("elapsed_ms", None)
+    for key in drop:
+        payload.pop(key, None)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# coalescer (no transport)
+# ----------------------------------------------------------------------
+class TestRequestCoalescer:
+    def test_concurrent_submits_share_a_batch(self):
+        service = CommunityService(fig1_profiled_graph())
+        batch_calls = []
+        original = service.batch
+
+        def counting_batch(items, **kw):
+            items = list(items)
+            batch_calls.append(len(items))
+            return original(items, **kw)
+
+        service.batch = counting_batch
+        coalescer = RequestCoalescer(service, window=0.05)
+        queries = [Query(vertex=v, k=2) for v in ("D", "E", "A", "D")]
+        results = [None] * len(queries)
+
+        def submit(i):
+            results[i] = coalescer.submit(queries[i])
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        coalescer.close()
+
+        assert all(r is not None for r in results)
+        # Everything arrived within one window: a single dispatched batch.
+        assert batch_calls == [4]
+        # Answers match direct service answers, aligned with submitters.
+        # (cache_hit and plan are timing provenance: a later direct query
+        # plans against a now-warm index, a batch plans once up front.)
+        direct = CommunityService(fig1_profiled_graph())
+        for query, response in zip(queries, results):
+            expected = direct.query(query)
+            assert envelope(response, "cache_hit", "plan") == envelope(
+                expected, "cache_hit", "plan"
+            )
+            assert response.method == expected.method
+        stats = coalescer.stats()
+        assert stats["submitted"] == 4
+        assert stats["dispatched_batches"] == 1
+        assert stats["coalesced_requests"] == 4
+        assert stats["mean_batch_size"] == 4.0
+
+    def test_window_zero_still_answers(self):
+        coalescer = RequestCoalescer(CommunityService(fig1_profiled_graph()), window=0)
+        response = coalescer.submit(Query(vertex="D", k=2))
+        assert response.returned == 2
+        coalescer.close()
+
+    def test_queue_overflow_raises_queue_full(self):
+        service = CommunityService(
+            fig1_profiled_graph(), middleware=[SlowMiddleware(0.3)]
+        )
+        coalescer = RequestCoalescer(service, window=0, max_batch=1, max_queue=1)
+        outcomes = []
+        lock = threading.Lock()
+
+        def submit():
+            try:
+                outcomes.append(("ok", coalescer.submit(Query(vertex="D", k=2))))
+            except QueueFullError as exc:
+                with lock:
+                    outcomes.append(("full", exc))
+
+        threads = [threading.Thread(target=submit) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        coalescer.close()
+
+        kinds = [kind for kind, _ in outcomes]
+        assert "full" in kinds, "admission control never triggered"
+        assert "ok" in kinds, "every request was refused"
+        rejected = next(exc for kind, exc in outcomes if kind == "full")
+        assert rejected.retry_after > 0
+        assert coalescer.stats()["rejected"] >= 1
+
+    def test_submit_after_close_is_refused(self):
+        coalescer = RequestCoalescer(CommunityService(fig1_profiled_graph()))
+        coalescer.close()
+        assert coalescer.closed
+        with pytest.raises(CoalescerClosedError):
+            coalescer.submit(Query(vertex="D", k=2))
+
+    def test_close_drains_queued_requests(self):
+        service = CommunityService(
+            fig1_profiled_graph(), middleware=[SlowMiddleware(0.05)]
+        )
+        coalescer = RequestCoalescer(service, window=0.5)  # far future dispatch
+        results = []
+
+        def submit(vertex):
+            results.append(coalescer.submit(Query(vertex=vertex, k=2)))
+
+        threads = [threading.Thread(target=submit, args=(v,)) for v in ("D", "E")]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)  # both queued, window still open
+        coalescer.close()  # must answer them, not abandon them
+        for t in threads:
+            t.join()
+        assert len(results) == 2
+        assert all(r.returned >= 1 for r in results)
+
+    def test_bad_vertex_fails_alone_not_its_batchmates(self):
+        service = CommunityService(fig1_profiled_graph())
+        batch_calls = []
+        original = service.batch
+
+        def counting_batch(items, **kw):
+            items = list(items)
+            batch_calls.append(len(items))
+            return original(items, **kw)
+
+        service.batch = counting_batch
+        coalescer = RequestCoalescer(service, window=0.05)
+        outcomes = {}
+
+        def submit(vertex):
+            try:
+                outcomes[vertex] = coalescer.submit(Query(vertex=vertex, k=2))
+            except VertexNotFoundError as exc:
+                outcomes[vertex] = exc
+
+        threads = [
+            threading.Thread(target=submit, args=(v,)) for v in ("D", "nope", "E")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        coalescer.close()
+
+        assert isinstance(outcomes["nope"], VertexNotFoundError)
+        assert outcomes["D"].returned == 2
+        assert outcomes["E"].returned >= 1
+        # The poisoned request must not collapse its batchmates to serial
+        # per-request execution: the valid remainder still ships as one
+        # batch (dedup preserved), the bad vertex never reaches the service.
+        assert batch_calls == [2]
+
+    def test_constructor_validation(self):
+        service = CommunityService(fig1_profiled_graph())
+        with pytest.raises(ValueError):
+            RequestCoalescer(service, window=-1)
+        with pytest.raises(ValueError):
+            RequestCoalescer(service, max_batch=0)
+        with pytest.raises(ValueError):
+            RequestCoalescer(service, max_queue=0)
+
+
+# ----------------------------------------------------------------------
+# routing + error mapping (no socket)
+# ----------------------------------------------------------------------
+class TestHandleRequest:
+    @pytest.fixture()
+    def gateway(self):
+        # Unstarted: no socket, no coalescer — pure routing logic.
+        return CommunityGateway(fig1_profiled_graph(), coalesce=False)
+
+    def call(self, gateway, method, path, payload=None, raw=None):
+        body = raw if raw is not None else (
+            b"" if payload is None else json.dumps(payload).encode()
+        )
+        response = handle_request(gateway, method, path, body)
+        decoded = (
+            json.loads(response.body)
+            if response.content_type.startswith("application/json")
+            else response.body.decode()
+        )
+        return response, decoded
+
+    def test_query_roundtrip(self, gateway):
+        response, decoded = self.call(
+            gateway, "POST", "/query", Query(vertex="D", k=2).to_dict()
+        )
+        assert response.status == 200
+        assert decoded["returned"] == 2
+        assert decoded["query"]["vertex"] == "D"
+
+    def test_unknown_path_404(self, gateway):
+        response, decoded = self.call(gateway, "GET", "/nope")
+        assert response.status == 404
+        assert decoded["error"]["type"] == "not_found"
+
+    def test_wrong_verb_405_with_allow(self, gateway):
+        response, decoded = self.call(gateway, "GET", "/query")
+        assert response.status == 405
+        assert decoded["error"]["type"] == "method_not_allowed"
+        assert dict(response.headers)["Allow"] == "POST"
+        response, _ = self.call(gateway, "POST", "/healthz")
+        assert response.status == 405
+
+    def test_bad_json_400(self, gateway):
+        response, decoded = self.call(gateway, "POST", "/query", raw=b"{not json")
+        assert response.status == 400
+        assert decoded["error"]["type"] == "invalid_input"
+
+    def test_unknown_query_field_400(self, gateway):
+        response, decoded = self.call(
+            gateway, "POST", "/query", {"vertex": "D", "methud": "basic"}
+        )
+        assert response.status == 400
+        assert "methud" in decoded["error"]["message"]
+
+    def test_missing_vertex_400(self, gateway):
+        response, _ = self.call(gateway, "POST", "/query", {"k": 2})
+        assert response.status == 400
+
+    def test_unknown_vertex_404(self, gateway):
+        response, decoded = self.call(
+            gateway, "POST", "/query", {"vertex": "missing", "k": 2}
+        )
+        assert response.status == 404
+        assert decoded["error"]["type"] == "vertex_not_found"
+
+    def test_batch_payload_shapes(self, gateway):
+        ok, decoded = self.call(
+            gateway, "POST", "/batch", {"queries": [{"vertex": "D", "k": 2}]}
+        )
+        assert ok.status == 200 and decoded["count"] == 1
+        assert decoded["batch_plan"]["mode"] in ("inline", "parallel")
+        bare, decoded = self.call(gateway, "POST", "/batch", [{"vertex": "D", "k": 2}])
+        assert bare.status == 200 and decoded["count"] == 1
+        for payload in ({}, {"queries": []}, {"queries": "D"}, {"wrong": []}, 7):
+            response, _ = self.call(gateway, "POST", "/batch", payload)
+            assert response.status == 400, payload
+
+    def test_update_bad_op_400(self, gateway):
+        response, decoded = self.call(
+            gateway, "POST", "/update", {"updates": [{"op": "explode", "u": "D"}]}
+        )
+        assert response.status == 400
+        assert "explode" in decoded["error"]["message"]
+
+    def test_payload_too_large_413(self, gateway):
+        gateway.max_body_bytes = 64
+        response, decoded = self.call(gateway, "POST", "/query", raw=b"x" * 65)
+        assert response.status == 413
+        assert decoded["error"]["type"] == "payload_too_large"
+
+    def test_path_normalisation(self, gateway):
+        response, _ = self.call(gateway, "GET", "/healthz/")
+        assert response.status == 200
+        response, _ = self.call(gateway, "GET", "/healthz?verbose=1")
+        assert response.status == 200
+
+    def test_unexpected_error_500(self, gateway, monkeypatch):
+        def boom(query):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(gateway, "dispatch_query", boom)
+        response, decoded = self.call(
+            gateway, "POST", "/query", Query(vertex="D", k=2).to_dict()
+        )
+        assert response.status == 500
+        assert "kaboom" in decoded["error"]["message"]
+
+
+# ----------------------------------------------------------------------
+# full HTTP round trips
+# ----------------------------------------------------------------------
+class TestEndpointEquivalence:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_http_query_equals_direct_service(self, method):
+        pg = fig1_profiled_graph()
+        reference = CommunityService(pg)
+        direct = reference.query(Query(vertex="D", k=2, method=method))
+        with serving(CommunityService(pg)) as (gateway, client):
+            served = client.query(Query(vertex="D", k=2, method=method))
+        # Byte-equivalence modulo timings: same communities, same
+        # provenance, same plan, same graph version.
+        assert json.dumps(envelope(served), sort_keys=True) == json.dumps(
+            envelope(direct), sort_keys=True
+        )
+
+    def test_http_batch_equals_direct_service(self):
+        pg = fig1_profiled_graph()
+        queries = [Query(vertex=v, k=2) for v in ("D", "E", "A", "D")]
+        direct = CommunityService(pg).batch(queries)
+        with serving(CommunityService(pg)) as (gateway, client):
+            served = client.batch(queries)
+        # The direct batch ran first and left the shared graph's index warm,
+        # so the served batch's plan *reason* differs; the answers (and the
+        # chosen method) must not.
+        assert [envelope(r, "plan") for r in served] == [
+            envelope(r, "plan") for r in direct
+        ]
+        assert [r.method for r in served] == [r.method for r in direct]
+
+    def test_update_applies_through_mutation_path(self):
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            before = client.query(Query(vertex="D", k=2))
+            receipt = client.update(
+                [("add_edge", "Z", "D"), {"op": "set_profile", "u": "Z",
+                                          "labels": ["ML"]}]
+            )
+            assert receipt["receipt"]["applied"] == 2
+            assert receipt["graph_version"] > before.graph_version
+            after = client.query(Query(vertex="D", k=2))
+            assert after.graph_version == receipt["graph_version"]
+            assert after.cache_hit is False  # mutation invalidated the entry
+
+    def test_coalesced_equals_uncoalesced_under_concurrency(self):
+        queries = [Query(vertex=v, k=2) for v in ("D", "E", "A")] * 4
+
+        def hammer(client):
+            answers = [None] * len(queries)
+
+            def one(i):
+                answers[i] = client_pool[i].query(queries[i])
+
+            client_pool = [
+                ServerClient(client.host, client.port) for _ in queries
+            ]
+            threads = [
+                threading.Thread(target=one, args=(i,)) for i in range(len(queries))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for c in client_pool:
+                c.close()
+            return answers
+
+        with serving(fig1_profiled_graph(), coalesce=True,
+                     coalesce_window=0.05) as (gateway, client):
+            coalesced = hammer(client)
+            assert gateway.coalescer.stats()["coalesced_requests"] > 0
+        with serving(fig1_profiled_graph(), coalesce=False) as (gateway, client):
+            uncoalesced = hammer(client)
+
+        # cache_hit and plan provenance legally differ between the modes
+        # (an uncoalesced repeat can hit the cache, and a request planned
+        # after the first one sees a warm index); the answers must not.
+        for a, b in zip(coalesced, uncoalesced):
+            assert envelope(a, "cache_hit", "plan") == envelope(
+                b, "cache_hit", "plan"
+            )
+            assert a.method == b.method
+
+
+class TestAdmissionControlAndDrain:
+    def test_overflow_answers_429_with_retry_after(self):
+        service = CommunityService(
+            fig1_profiled_graph(), middleware=[SlowMiddleware(0.25)]
+        )
+        with serving(service, coalesce=True, coalesce_window=0,
+                     max_batch=1, max_queue=1) as (gateway, client):
+            statuses = []
+            lock = threading.Lock()
+
+            def fire():
+                with ServerClient(client.host, client.port) as c:
+                    try:
+                        c.query(Query(vertex="D", k=2))
+                        outcome = (200, None)
+                    except ServerError as exc:
+                        outcome = (exc.status, exc.retry_after)
+                with lock:
+                    statuses.append(outcome)
+
+            threads = [threading.Thread(target=fire) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        codes = [status for status, _ in statuses]
+        assert 429 in codes, f"no request was refused: {codes}"
+        assert 200 in codes, f"every request was refused: {codes}"
+        retry_hint = next(hint for status, hint in statuses if status == 429)
+        assert retry_hint is not None and retry_hint >= 1.0
+
+    def test_close_drains_in_flight_requests(self):
+        service = CommunityService(
+            fig1_profiled_graph(), middleware=[SlowMiddleware(0.1)]
+        )
+        gateway = CommunityGateway(service, port=0, coalesce=True,
+                                   coalesce_window=0.4).start()
+        host, port = gateway.address
+        results = []
+        lock = threading.Lock()
+
+        def fire(vertex):
+            with ServerClient(host, port) as c:
+                response = c.query(Query(vertex=vertex, k=2))
+            with lock:
+                results.append(response)
+
+        threads = [
+            threading.Thread(target=fire, args=(v,)) for v in ("D", "E", "A")
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.15)  # all three queued behind the window
+        gateway.close()  # drain: they must still be answered
+        for t in threads:
+            t.join()
+        assert len(results) == 3
+        assert {r.query.vertex for r in results} == {"D", "E", "A"}
+
+    def test_health_reports_draining_after_close(self):
+        gateway = CommunityGateway(fig1_profiled_graph(), port=0).start()
+        assert gateway.health()["status"] == "ok"
+        gateway.close()
+        assert gateway.health()["status"] == "draining"
+
+
+class TestUpdateRaces:
+    def test_queries_racing_updates_report_consistent_versions(self):
+        pg = fig1_profiled_graph()
+        with serving(CommunityService(pg), coalesce=True,
+                     coalesce_window=0.002) as (gateway, client):
+            stop = threading.Event()
+            per_client_versions = {}
+            errors = []
+            applied_versions = []
+
+            def querier(worker_id, vertex):
+                versions = []
+                try:
+                    with ServerClient(client.host, client.port) as c:
+                        for _ in range(15):
+                            versions.append(
+                                c.query(Query(vertex=vertex, k=2)).graph_version
+                            )
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                per_client_versions[worker_id] = versions
+
+            def updater():
+                try:
+                    with ServerClient(client.host, client.port) as c:
+                        for i in range(8):
+                            receipt = c.update([("add_edge", f"U{i}", "C")])
+                            applied_versions.append(receipt["graph_version"])
+                            time.sleep(0.01)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                finally:
+                    stop.set()
+
+            threads = [
+                threading.Thread(target=querier, args=(i, v))
+                for i, v in enumerate(["D", "E", "A", "D"])
+            ] + [threading.Thread(target=updater)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert not errors, errors
+            final_version = applied_versions[-1]
+            assert final_version == pg.version
+            for worker_id, versions in per_client_versions.items():
+                # Sequential requests from one client never go back in time,
+                # and every reported version is a version the graph held.
+                assert versions == sorted(versions), (worker_id, versions)
+                assert all(0 <= v <= final_version for v in versions)
+            # The service ends on the updated graph: a fresh probe reflects
+            # the final version.
+            assert client.query(Query(vertex="D", k=2)).graph_version == final_version
+
+
+# ----------------------------------------------------------------------
+# observability endpoints + client surface
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_healthz_payload(self):
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["coalescing"] is True
+        assert health["graph_version"] == 0
+        assert health["uptime_seconds"] >= 0
+
+    def test_stats_payload(self):
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            client.query(Query(vertex="D", k=2))
+            client.query(Query(vertex="D", k=2))
+            stats = client.stats()
+        assert stats["engine"]["queries_served"] == 1
+        assert stats["engine"]["cache"]["hits"] == 1
+        assert stats["graph"]["version"] == 0
+        assert stats["coalescer"]["submitted"] == 2
+        recorded = {
+            (r["method"], r["endpoint"], r["status"]) for r in
+            stats["server"]["requests"]
+        }
+        assert ("POST", "/query", 200) in recorded
+
+    def test_metrics_prometheus_format(self):
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            client.query(Query(vertex="D", k=2))
+            text = client.metrics()
+        families = set()
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                kind, name = line.split()[1:3]
+                if kind == "TYPE":
+                    families.add(name)
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses
+            assert name_part.split("{")[0] in families
+        for expected in (
+            "repro_queries_served_total",
+            "repro_cache_hits_total",
+            "repro_graph_version",
+            "repro_coalescer_batches_total",
+            "repro_http_requests_total",
+            "repro_server_uptime_seconds",
+        ):
+            assert expected in families, expected
+
+    def test_unknown_paths_share_one_bounded_counter(self):
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            for path in ("/scan1", "/scan2", "/query/"):
+                try:
+                    client._request("GET", path)
+                except ServerError:
+                    pass
+            stats = client.stats()
+        endpoints = {r["endpoint"] for r in stats["server"]["requests"]}
+        # Scanner garbage buckets into one label; "/query/" folds into the
+        # canonical route instead of splitting its counter.
+        assert "/scan1" not in endpoints and "/scan2" not in endpoints
+        assert "(unknown)" in endpoints
+        assert "/query" in endpoints
+
+    def test_oversized_content_length_refused_before_read(self):
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            gateway.max_body_bytes = 64
+            with pytest.raises(ServerError) as excinfo:
+                client.query_raw({"vertex": "D", "k": 2, "method": "x" * 128})
+            assert excinfo.value.status == 413
+            assert excinfo.value.error_type == "payload_too_large"
+            # The connection was closed (unread body), but the client
+            # reconnects transparently and the server still works.
+            gateway.max_body_bytes = 8 * 1024 * 1024
+            assert client.query(Query(vertex="D", k=2)).returned == 2
+        with serving(fig1_profiled_graph(), coalesce=False) as (gateway, client):
+            text = client.metrics()
+        assert "repro_coalescer" not in text
+        assert "repro_queries_served_total" in text
+
+
+class TestClientAndLifecycle:
+    def test_client_overrides_and_errors(self):
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            response = client.query(Query(vertex="D"), k=2, limit=1)
+            assert response.returned == 1 and response.truncated
+            with pytest.raises(ServerError) as excinfo:
+                client.query(Query(vertex="missing", k=2))
+            assert excinfo.value.status == 404
+            assert excinfo.value.error_type == "vertex_not_found"
+
+    def test_gateway_lifecycle_guards(self):
+        gateway = CommunityGateway(fig1_profiled_graph(), port=0)
+        with pytest.raises(RuntimeError):
+            gateway.address
+        gateway.start()
+        with pytest.raises(RuntimeError):
+            gateway.start()
+        assert gateway.url.startswith("http://127.0.0.1:")
+        gateway.close()
+        gateway.close()  # idempotent
+
+    def test_gateway_rejects_non_service(self):
+        from repro.errors import InvalidInputError
+
+        with pytest.raises(InvalidInputError):
+            CommunityGateway(object())
+
+    def test_warm_builds_index_at_startup(self):
+        service = CommunityService(fig1_profiled_graph())
+        with serving(service, warm=True):
+            assert service.explorer.index_ready
