@@ -21,6 +21,7 @@ few percent over the bare engine (checked by the facade-overhead benchmark).
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Hashable, Iterable, List, Optional, Sequence, Union
 
 from repro.api.planner import BatchPlan, PlanDecision, QueryPlanner
@@ -28,8 +29,9 @@ from repro.api.query import Query, QueryBuilder
 from repro.api.response import QueryResponse
 from repro.core.profiled_graph import ProfiledGraph
 from repro.engine.explorer import DEFAULT_K, DEFAULT_METHOD, CommunityExplorer, EngineStats
-from repro.engine.updates import UpdateReceipt
-from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.engine.updates import GraphUpdate, UpdateReceipt
+from repro.errors import IntegrityError, InvalidInputError, VertexNotFoundError
+from repro.storage import BootReport, GraphStore, SnapshotInfo, preview_updates
 
 Vertex = Hashable
 QueryLike = Union[Query, QueryBuilder, Vertex, tuple, dict]
@@ -124,6 +126,17 @@ class CommunityService:
     one_shot:
         Planner hint: this session will serve roughly one query, so a cold
         graph should not pay an index build (used by ``repro query``).
+    storage_dir:
+        Durable home for the served graph (see
+        :class:`~repro.storage.store.GraphStore`). When set, ``pg`` is
+        the *cold seed*: if the directory holds a snapshot the session
+        serves the snapshot instead (plus WAL replay), and every
+        :meth:`apply_updates` batch is fsync'd to the write-ahead log
+        *before* it touches the graph, so a crash loses nothing that was
+        acknowledged. Call :meth:`snapshot` to checkpoint and truncate
+        the log. Requires ``pg`` to be a :class:`ProfiledGraph` (an
+        adopted explorer already owns its graph object, which boot may
+        need to replace).
     parallel:
         Worker *process* count for batch execution and index builds. With
         ``parallel >= 2`` (and ``pg`` a graph) the session serves through a
@@ -155,6 +168,7 @@ class CommunityService:
         max_limit: Optional[int] = None,
         one_shot: bool = False,
         parallel: Optional[int] = None,
+        storage_dir: Optional[Union[str, Path]] = None,
         cache_size: Optional[int] = 1024,
         max_workers: Optional[int] = None,
         default_k: int = DEFAULT_K,
@@ -163,6 +177,16 @@ class CommunityService:
     ) -> None:
         if parallel is not None and parallel < 1:
             raise InvalidInputError(f"parallel must be >= 1, got {parallel}")
+        self._store: Optional[GraphStore] = None
+        self._boot_report: Optional[BootReport] = None
+        if storage_dir is not None:
+            if not isinstance(pg, ProfiledGraph):
+                raise InvalidInputError(
+                    "storage_dir= needs a ProfiledGraph cold seed, not an "
+                    "adopted explorer (boot may replace the graph object)"
+                )
+            self._store = GraphStore(storage_dir)
+            pg, self._boot_report = self._store.boot(fallback=pg)
         if isinstance(pg, CommunityExplorer):
             # parallel=1 means "in-process", which any explorer satisfies;
             # otherwise the adopted explorer's fleet width must match.
@@ -331,9 +355,54 @@ class CommunityService:
     # ------------------------------------------------------------------
     # session management (delegates)
     # ------------------------------------------------------------------
+    @property
+    def storage(self) -> Optional[GraphStore]:
+        """The durable store, or ``None`` for a memory-only session."""
+        return self._store
+
+    @property
+    def boot_report(self) -> Optional[BootReport]:
+        """How the served graph was produced (``None`` without storage)."""
+        return self._boot_report
+
     def apply_updates(self, updates: Iterable, repair: bool = True) -> UpdateReceipt:
-        """Apply graph edits through the engine's mutation pipeline."""
-        return self._explorer.apply_updates(updates, repair=repair)
+        """Apply graph edits through the engine's mutation pipeline.
+
+        On a ``storage_dir=`` session the batch is validated, framed and
+        fsync'd to the write-ahead log — tagged with the graph version it
+        will produce — *before* the in-memory apply, all under the
+        engine's mutation lock. A batch the log rejects never touches the
+        graph; a batch the graph acknowledged is always recoverable.
+        """
+        if self._store is None:
+            return self._explorer.apply_updates(updates, repair=repair)
+        ops = [GraphUpdate.coerce(item) for item in updates]
+        with self._explorer.mutation_lock:
+            pg = self._explorer.pg
+            base = pg.version
+            _, predicted = preview_updates(pg, ops)
+            self._store.wal.append(base, predicted, ops)
+            receipt = self._explorer.apply_updates(ops, repair=repair)
+            if receipt.version != predicted:  # pragma: no cover - invariant
+                raise IntegrityError(
+                    f"WAL predicted version {predicted} but apply produced "
+                    f"{receipt.version}; the log no longer matches memory"
+                )
+        return receipt
+
+    def snapshot(self, include_index: bool = True) -> SnapshotInfo:
+        """Checkpoint the served graph and truncate the write-ahead log.
+
+        Runs under the mutation lock so the snapshot captures a version
+        boundary, never a half-applied batch. Raises
+        :class:`InvalidInputError` on a memory-only session.
+        """
+        if self._store is None:
+            raise InvalidInputError("snapshot() needs a storage_dir= session")
+        with self._explorer.mutation_lock:
+            return self._store.snapshot(
+                self._explorer.pg, include_index=include_index
+            )
 
     def warm(self) -> float:
         """Eagerly build the index; returns seconds spent."""
@@ -347,14 +416,18 @@ class CommunityService:
         self._explorer.clear_cache()
 
     def close(self) -> None:
-        """Release the worker fleet of a ``parallel=`` session.
+        """Release the worker fleet and the storage file handles.
 
-        No-op on in-process sessions; a closed fleet restarts lazily if
-        the session serves another parallel-worthy batch.
+        No-op on in-process, memory-only sessions; a closed fleet
+        restarts lazily if the session serves another parallel-worthy
+        batch. Does *not* snapshot — checkpointing on shutdown is the
+        gateway's (or the caller's) decision via :meth:`snapshot`.
         """
         close = getattr(self._explorer, "close", None)
         if close is not None:
             close()
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "CommunityService":
         return self

@@ -322,7 +322,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     pg = _load(args)
     service = CommunityService(
-        pg, parallel=args.parallel, max_workers=args.workers, max_limit=args.limit
+        pg,
+        parallel=args.parallel,
+        max_workers=args.workers,
+        max_limit=args.limit,
+        storage_dir=args.data_dir,
     )
     gateway = CommunityGateway(
         service,
@@ -342,6 +346,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"(coalescing: {mode}, workers: {args.parallel or 1})", flush=True)
         print("endpoints: POST /query /batch /update · GET /healthz /stats /metrics",
               flush=True)
+        report = service.boot_report
+        if report is not None:
+            print(f"data-dir {args.data_dir}: booted from {report.source} at "
+                  f"graph version {report.graph_version} "
+                  f"(replayed {report.replayed_records} WAL record(s), index "
+                  f"{'loaded' if report.index_loaded else 'cold'}, "
+                  f"{report.seconds:.2f}s)", flush=True)
         try:
             gateway.wait()
         except KeyboardInterrupt:
@@ -350,6 +361,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"served {stats.queries_served} queries "
           f"(cache hit rate {stats.cache_hit_rate:.0%})", flush=True)
     return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """``repro snapshot``: write, verify or compact on-disk snapshots."""
+    from repro.storage import (
+        GraphStore,
+        SnapshotError,
+        save_snapshot,
+        verify_digest,
+    )
+
+    if args.verify is not None:
+        try:
+            info = verify_digest(args.verify)
+        except SnapshotError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps({"ok": True, **info.to_dict()}, indent=2))
+        return 0
+    if args.data_dir is not None:
+        with GraphStore(args.data_dir) as store:
+            info, report = store.compact(fallback=lambda: _load(args))
+        print(json.dumps(
+            {"compacted": str(store.snapshot_path),
+             "boot": report.to_dict(), **info.to_dict()},
+            indent=2,
+        ))
+        return 0
+    if args.out is not None:
+        pg = _load(args)
+        if not args.no_index:
+            pg.index()
+        info = save_snapshot(pg, args.out, include_index=not args.no_index)
+        print(json.dumps({"written": args.out, **info.to_dict()}, indent=2))
+        return 0
+    print("snapshot: one of --out, --data-dir or --verify is required",
+          file=sys.stderr)
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -450,7 +499,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the eager index build at startup")
     sv.add_argument("--log-requests", action="store_true",
                     help="one access-log line per request on stderr")
+    sv.add_argument("--data-dir", dest="data_dir", default=None, metavar="DIR",
+                    help="durable storage directory (snapshot + write-ahead "
+                         "log): boot replays it, updates are fsync'd to it, "
+                         "drain checkpoints it; without it, applied updates "
+                         "are lost on shutdown (a warning says so)")
     sv.set_defaults(func=cmd_serve)
+
+    sp = sub.add_parser(
+        "snapshot", help="write, inspect, verify or compact on-disk snapshots"
+    )
+    add_dataset_args(sp)
+    sp.add_argument("--out", help="write a fresh snapshot of the dataset here")
+    sp.add_argument("--data-dir", dest="data_dir", metavar="DIR",
+                    help="compact a storage directory: boot from its "
+                         "snapshot+WAL (the dataset args are the cold seed) "
+                         "and fold everything into a fresh snapshot")
+    sp.add_argument("--verify", metavar="PATH",
+                    help="check an existing snapshot's digest and structure")
+    sp.add_argument("--no-index", action="store_true",
+                    help="omit the CP-tree index section (smaller file, "
+                         "cold index on load)")
+    sp.set_defaults(func=cmd_snapshot)
 
     be = sub.add_parser("bench-engine", help="cold vs warm engine throughput")
     add_dataset_args(be)

@@ -322,6 +322,18 @@ class CommunityExplorer:
     def index_ready(self) -> bool:
         return self.pg.has_index()
 
+    @property
+    def mutation_lock(self) -> threading.RLock:
+        """The reentrant lock guarding index builds and update batches.
+
+        External mutation pipelines (the write-ahead log in
+        :mod:`repro.storage`) hold this lock across *log-then-apply* so no
+        second batch can slip between a record's version tag and its
+        in-memory effect. Reentrant, so :meth:`apply_updates` can be
+        called while holding it.
+        """
+        return self._index_lock
+
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------

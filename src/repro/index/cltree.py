@@ -182,6 +182,42 @@ class CLTree:
             for child in node.children:
                 stack.append((child, False))
 
+    @classmethod
+    def from_arrays(
+        cls, records: Iterable[tuple]
+    ) -> "CLTree":
+        """Reassemble a CL-tree from ``(core, parent_index, vertices)`` rows.
+
+        The inverse of walking :meth:`nodes`: ``records`` lists every
+        CL-node in preorder (each parent before its children), where
+        ``parent_index`` is the row index of the node's parent (``None``
+        for the root) and ``vertices`` are the vertices anchored at that
+        node. Used by :mod:`repro.storage.snapshot` to restore an index
+        from disk without re-running the O(m) core decomposition — core
+        numbers are implied by the anchoring node's level, and the Euler
+        intervals are reassigned on load. An empty iterable yields the
+        empty index.
+        """
+        self = cls.__new__(cls)
+        self._core_of = {}
+        self._node_of = {}
+        nodes: List[CLNode] = []
+        for core, parent_index, vertices in records:
+            node = CLNode(core, list(vertices))
+            if parent_index is not None:
+                parent = nodes[parent_index]
+                node.parent = parent
+                parent.children.append(node)
+            nodes.append(node)
+            if core != _VIRTUAL_CORE:
+                for v in node.vertices:
+                    self._core_of[v] = core
+                    self._node_of[v] = node
+        self._root = nodes[0] if nodes else CLNode(_VIRTUAL_CORE, [])
+        self._order = []
+        self._assign_euler_intervals()
+        return self
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

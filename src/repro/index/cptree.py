@@ -150,10 +150,17 @@ class CPTree:
         self.taxonomy = taxonomy
         buckets: Dict[int, List[Vertex]] = {}
         head_map: Dict[Vertex, Tuple[int, ...]] = {}
+        # Label sets repeat heavily (snapshot decode and the parallel
+        # shipper both intern them), so leaves are computed once per
+        # distinct set rather than once per vertex.
+        leaf_cache: Dict[NodeSet, Tuple[int, ...]] = {}
         for v, labels in vertex_labels.items():
             for x in labels:
                 buckets.setdefault(x, []).append(v)
-            head_map[v] = ptree_leaves(labels, taxonomy)
+            leaves = leaf_cache.get(labels)
+            if leaves is None:
+                leaves = leaf_cache[labels] = ptree_leaves(labels, taxonomy)
+            head_map[v] = leaves
         missing = set(buckets) - set(cltrees)
         extra = set(cltrees) - set(buckets)
         if missing or extra:

@@ -28,9 +28,16 @@ from repro.core.profiled_graph import ProfiledGraph
 from repro.index.maintenance import UpdateJournal
 from repro.ptree.ptree import PTree
 from repro.ptree.taxonomy import Taxonomy
+from repro.storage.snapshot import SnapshotError
+from repro.storage.snapshot import decode_payload as snapshot_decode
+from repro.storage.snapshot import encode_payload as snapshot_encode
 
 #: Wire protocol for worker bootstrap payloads.
 PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Blob tags: the interned snapshot encoding vs. the pickle fallback.
+_TAG_SNAPSHOT = b"S"
+_TAG_PICKLE = b"P"
 
 
 def ship_graph(pg: ProfiledGraph) -> bytes:
@@ -41,23 +48,37 @@ def ship_graph(pg: ProfiledGraph) -> bytes:
     topology, taxonomy, labels and version — but no index, no P-tree cache
     and an empty journal, so the worker starts cold and builds exactly what
     it needs.
+
+    Graphs with int/str vertices ship as the interned binary encoding of
+    :mod:`repro.storage.snapshot` (no header or digest — the pipe is
+    trusted), so the wire form and the on-disk form can never disagree on
+    graph semantics. Exotic vertex types fall back to pickling a stripped
+    clone; a one-byte tag tells the worker which decoder to run.
     """
-    clone = ProfiledGraph.__new__(ProfiledGraph)
-    clone.graph = pg.graph
-    clone.taxonomy = pg.taxonomy
-    clone._labels = pg._labels
-    clone._index = None
-    clone._ptree_cache = {}
-    clone._version = pg.version
-    clone._journal = UpdateJournal()
-    clone._maintenance_seconds = 0.0
-    clone._repairs = 0
-    return pickle.dumps(clone, protocol=PICKLE_PROTOCOL)
+    try:
+        return _TAG_SNAPSHOT + snapshot_encode(pg)
+    except SnapshotError:
+        clone = ProfiledGraph.__new__(ProfiledGraph)
+        clone.graph = pg.graph
+        clone.taxonomy = pg.taxonomy
+        clone._labels = pg._labels
+        clone._index = None
+        clone._ptree_cache = {}
+        clone._version = pg.version
+        clone._journal = UpdateJournal()
+        clone._maintenance_seconds = 0.0
+        clone._repairs = 0
+        return _TAG_PICKLE + pickle.dumps(clone, protocol=PICKLE_PROTOCOL)
 
 
 def unship_graph(blob: bytes) -> ProfiledGraph:
     """Inverse of :func:`ship_graph` (runs in the worker process)."""
-    pg = pickle.loads(blob)
+    tag, payload = blob[:1], blob[1:]
+    if tag == _TAG_SNAPSHOT:
+        return snapshot_decode(payload, has_index=False)
+    if tag != _TAG_PICKLE:
+        raise TypeError(f"unknown worker bootstrap blob tag {tag!r}")
+    pg = pickle.loads(payload)
     if not isinstance(pg, ProfiledGraph):
         raise TypeError(f"worker bootstrap blob decoded to {type(pg).__name__}")
     return pg

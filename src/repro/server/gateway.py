@@ -27,6 +27,7 @@ for the command line; tests and benchmarks drive it directly.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from http.server import ThreadingHTTPServer
@@ -132,6 +133,7 @@ class CommunityGateway:
         self._server: Optional[_GatewayHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
         self._started_at: Optional[float] = None
+        self._version_at_start = self.service.pg.version
         self._closed = threading.Event()
         self._request_counts: Dict[Tuple[str, str, int], int] = {}
         self._counts_lock = threading.Lock()
@@ -168,8 +170,13 @@ class CommunityGateway:
     def close(self, drain: bool = True) -> None:
         """Stop serving. With ``drain`` (default) every accepted request
         is still answered: the listener stops, the coalescer flushes its
-        queue, handler threads are joined, and only then is the service's
-        worker fleet (if any) released. Idempotent."""
+        queue, handler threads are joined, the served graph is
+        checkpointed when the service has durable storage (folding the
+        WAL into a fresh snapshot so the next boot is warm), and only
+        then is the service's worker fleet (if any) released. Without
+        storage, a drain that would discard applied updates shouts about
+        it on stderr — losing mutations must be opt-in, not invisible.
+        Idempotent."""
         if self._closed.is_set():
             return
         self._closed.set()
@@ -181,7 +188,27 @@ class CommunityGateway:
             self._server.server_close()  # joins handler threads (drain)
         if self._server_thread is not None:
             self._server_thread.join(timeout=10.0)
+        self._checkpoint_or_warn(drain)
         self.service.close()
+
+    def _checkpoint_or_warn(self, drain: bool) -> None:
+        """Snapshot-on-drain, or the loud data-loss warning (no storage)."""
+        storage = getattr(self.service, "storage", None)
+        version = self.service.pg.version
+        if storage is not None:
+            if drain:
+                self.service.snapshot()
+            return  # no drain: the WAL already holds every applied batch
+        if version != self._version_at_start:
+            print(
+                f"WARNING: discarding {version - self._version_at_start} "
+                f"applied update(s) on shutdown — this server has no durable "
+                f"storage. Restart will serve graph version "
+                f"{self._version_at_start}, not {version}. Pass --data-dir "
+                f"(or CommunityService(storage_dir=...)) to persist updates.",
+                file=sys.stderr,
+                flush=True,
+            )
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until :meth:`close` is called (the CLI's serve loop)."""
@@ -242,6 +269,7 @@ class CommunityGateway:
             "uptime_seconds": self.uptime_seconds,
             "coalescing": self.coalescer is not None,
             "queue_depth": 0 if self.coalescer is None else self.coalescer.depth,
+            "durable": getattr(self.service, "storage", None) is not None,
         }
 
     def stats(self) -> dict:
@@ -266,6 +294,20 @@ class CommunityGateway:
                 "edges": pg.num_edges,
                 "version": pg.version,
             },
+            "storage": self._storage_stats(),
+        }
+
+    def _storage_stats(self) -> Optional[dict]:
+        """The ``/stats`` storage block (``None`` on memory-only sessions)."""
+        storage = getattr(self.service, "storage", None)
+        if storage is None:
+            return None
+        boot = self.service.boot_report
+        return {
+            "directory": str(storage.directory),
+            "wal_records": storage.wal.num_records,
+            "has_snapshot": storage.has_snapshot(),
+            "boot": None if boot is None else boot.to_dict(),
         }
 
     def metrics_text(self) -> str:

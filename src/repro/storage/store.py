@@ -1,0 +1,179 @@
+"""One durable home for a served graph: snapshot + WAL in a directory.
+
+A :class:`GraphStore` owns two files inside its directory::
+
+    snapshot.bin   the last full checkpoint (graph + index, digest-verified)
+    wal.log        every update batch applied since that checkpoint
+
+Boot order (:meth:`GraphStore.boot`): load the snapshot if one exists —
+a warm start that skips both dataset construction and the index build —
+otherwise fall back to the caller's cold seed; then replay the WAL on
+top, landing on the exact version the previous process last acknowledged.
+The cold-seed path makes WAL-only persistence work too: as long as the
+seed is deterministic (version 0), the log replays from the beginning.
+
+Checkpointing (:meth:`GraphStore.snapshot`) writes the new snapshot
+atomically *first* and truncates the WAL *second*; a crash between the
+two steps is harmless because replay skips records whose ``version`` is
+already covered by the snapshot. :meth:`GraphStore.compact` is the
+offline flavour: boot from the files, fold the log into a fresh
+snapshot, leave an empty WAL — run it from ``repro snapshot --compact``
+to bound log growth without a serving process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+from repro.core.profiled_graph import ProfiledGraph
+from repro.errors import ReproError
+from repro.storage.snapshot import SnapshotInfo, load_snapshot, save_snapshot
+from repro.storage.wal import WriteAheadLog
+
+PathLike = Union[str, Path]
+#: Cold seed: either a ready graph or a zero-argument factory for one.
+Fallback = Union[ProfiledGraph, Callable[[], ProfiledGraph]]
+
+
+class StorageError(ReproError):
+    """The store directory cannot produce a graph (no snapshot, no seed)."""
+
+
+@dataclass(frozen=True)
+class BootReport:
+    """How a :meth:`GraphStore.boot` produced its graph."""
+
+    #: ``"snapshot"`` (warm start) or ``"cold"`` (seed + full replay).
+    source: str
+    #: Graph version of the loaded snapshot (None on a cold boot).
+    snapshot_version: Optional[int]
+    #: WAL batches replayed on top of the starting point.
+    replayed_records: int
+    #: Torn-tail bytes the WAL discarded on open (0 unless a crash tore
+    #: the final append).
+    wal_dropped_bytes: int
+    #: Version the booted graph ended at.
+    graph_version: int
+    #: Whether the booted graph came up with a ready CP-tree.
+    index_loaded: bool
+    #: Wall-clock seconds for the whole boot (load + replay).
+    seconds: float
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping (surfaced by ``repro serve`` and /stats)."""
+        return {
+            "source": self.source,
+            "snapshot_version": self.snapshot_version,
+            "replayed_records": self.replayed_records,
+            "wal_dropped_bytes": self.wal_dropped_bytes,
+            "graph_version": self.graph_version,
+            "index_loaded": self.index_loaded,
+            "seconds": self.seconds,
+        }
+
+
+class GraphStore:
+    """Snapshot + WAL lifecycle for one graph, rooted in one directory."""
+
+    #: File names inside the store directory.
+    SNAPSHOT_NAME = "snapshot.bin"
+    WAL_NAME = "wal.log"
+
+    def __init__(self, directory: PathLike) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._wal = WriteAheadLog(self._dir / self.WAL_NAME)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """The store's root directory."""
+        return self._dir
+
+    @property
+    def snapshot_path(self) -> Path:
+        """Where the checkpoint lives (may not exist yet)."""
+        return self._dir / self.SNAPSHOT_NAME
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The live write-ahead log."""
+        return self._wal
+
+    def has_snapshot(self) -> bool:
+        """Whether a checkpoint file exists."""
+        return self.snapshot_path.exists()
+
+    # -- lifecycle -----------------------------------------------------
+    def boot(self, fallback: Optional[Fallback] = None) -> Tuple[ProfiledGraph, BootReport]:
+        """Produce the current graph: snapshot (or seed) + WAL replay.
+
+        ``fallback`` supplies the cold seed when no snapshot exists — a
+        ready :class:`ProfiledGraph` or a zero-argument factory (use a
+        factory when building the seed is expensive; it is only invoked
+        on the cold path). Raises :class:`StorageError` when there is
+        neither a snapshot nor a fallback.
+        """
+        start = time.perf_counter()
+        snapshot_version: Optional[int] = None
+        if self.has_snapshot():
+            pg = load_snapshot(self.snapshot_path)
+            snapshot_version = pg.version
+            source = "snapshot"
+        elif fallback is not None:
+            pg = fallback() if callable(fallback) else fallback
+            source = "cold"
+        else:
+            raise StorageError(
+                f"{self._dir}: no snapshot on disk and no cold seed supplied"
+            )
+        replayed = self._wal.replay_into(pg)
+        report = BootReport(
+            source=source,
+            snapshot_version=snapshot_version,
+            replayed_records=replayed,
+            wal_dropped_bytes=self._wal.dropped_bytes,
+            graph_version=pg.version,
+            index_loaded=pg.has_index(),
+            seconds=time.perf_counter() - start,
+        )
+        return pg, report
+
+    def snapshot(self, pg: ProfiledGraph, include_index: bool = True) -> SnapshotInfo:
+        """Checkpoint ``pg`` and truncate the WAL (crash-safe in that order).
+
+        The snapshot rename is atomic; only after it lands is the log
+        cleared. A crash in between leaves snapshot + stale log, which
+        boot resolves by skipping records the snapshot already covers.
+        """
+        info = save_snapshot(pg, self.snapshot_path, include_index=include_index)
+        self._wal.truncate()
+        return info
+
+    def compact(self, fallback: Optional[Fallback] = None) -> Tuple[SnapshotInfo, BootReport]:
+        """Fold the WAL into a fresh snapshot without a serving process.
+
+        Boots from the files (plus optional cold ``fallback``), builds
+        the index if the boot didn't come up warm (so the checkpoint is
+        maximally useful), then checkpoints and truncates. Returns the
+        new snapshot's info and the boot report it was built from.
+        """
+        pg, report = self.boot(fallback)
+        pg.index()
+        return self.snapshot(pg), report
+
+    def close(self) -> None:
+        """Release the WAL file handle."""
+        self._wal.close()
+
+    def __enter__(self) -> "GraphStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphStore({self._dir})"

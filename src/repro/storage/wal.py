@@ -1,0 +1,376 @@
+"""Append-only write-ahead log of :class:`GraphUpdate` batches.
+
+Durability contract: a batch is framed, appended and **fsync'd before the
+in-memory apply**, tagged with the graph version the batch will produce.
+A process killed at any instant therefore loses at most work it never
+acknowledged — on reboot, :meth:`WriteAheadLog.replay_into` re-applies
+every logged batch beyond the snapshot and lands on the exact pre-crash
+``graph_version``.
+
+Tagging the *resulting* version before applying requires knowing how many
+of the batch's updates will be effective (no-ops don't bump the version).
+:func:`preview_updates` computes that with a pure overlay simulation —
+the graph is not touched — and doubles as up-front validation: a batch
+that would raise halfway through (unknown vertex, self-loop, bad label)
+is rejected *before* anything hits the log, so the log never contains a
+partially-appliable record.
+
+Record framing (little-endian)::
+
+    length  u32   byte length of the JSON payload
+    crc32   u32   zlib.crc32 of the payload bytes
+    payload       {"base": int, "version": int, "updates": [...]}
+
+``base`` is the graph version the batch was applied at and ``version``
+the version it produced; replay uses them to skip records already folded
+into a snapshot and to refuse gaps. A crash can tear the final frame;
+opening the log detects the torn tail (short frame or CRC mismatch) and
+truncates it — every complete record before it was fsync'd and is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.profiled_graph import ProfiledGraph
+from repro.engine.updates import GraphUpdate, apply_update
+from repro.errors import InvalidInputError, ReproError, VertexNotFoundError
+
+Vertex = Hashable
+PathLike = Union[str, Path]
+
+_FRAME = struct.Struct("<II")
+
+
+class WalError(ReproError):
+    """The write-ahead log could not be read, written or replayed."""
+
+
+class WalCorruptError(WalError):
+    """A log record before the tail fails structural validation."""
+
+
+class WalReplayError(WalError):
+    """The log does not continue from the graph state being replayed onto."""
+
+
+class WalRecord:
+    """One logged batch: the updates plus its version bracket."""
+
+    __slots__ = ("base", "version", "updates")
+
+    def __init__(
+        self, base: int, version: int, updates: Sequence[GraphUpdate]
+    ) -> None:
+        #: Graph version the batch was applied at.
+        self.base = base
+        #: Graph version the batch produced (``base`` + effective updates).
+        self.version = version
+        #: The updates, in application order.
+        self.updates: Tuple[GraphUpdate, ...] = tuple(
+            GraphUpdate.coerce(u) for u in updates
+        )
+
+    def to_payload(self) -> dict:
+        """The JSON object framed on disk."""
+        return {
+            "base": self.base,
+            "version": self.version,
+            "updates": [u.to_dict() for u in self.updates],
+        }
+
+    @classmethod
+    def from_payload(cls, obj: object) -> "WalRecord":
+        """Rebuild a record from its decoded JSON payload."""
+        if (
+            not isinstance(obj, dict)
+            or not isinstance(obj.get("base"), int)
+            or not isinstance(obj.get("version"), int)
+            or not isinstance(obj.get("updates"), list)
+        ):
+            raise WalCorruptError(f"malformed WAL payload: {obj!r}")
+        return cls(obj["base"], obj["version"], obj["updates"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WalRecord({self.base}->{self.version}, "
+            f"{len(self.updates)} update(s))"
+        )
+
+
+# ----------------------------------------------------------------------
+# preview: effective-count + validation without touching the graph
+# ----------------------------------------------------------------------
+def preview_updates(
+    pg: ProfiledGraph, updates: Sequence[GraphUpdate]
+) -> Tuple[int, int]:
+    """``(effective, resulting_version)`` of applying ``updates`` to ``pg``.
+
+    Pure — ``pg`` is never mutated. Simulates the batch against an overlay
+    (vertex presence, edge presence, profiles) with exactly the semantics
+    of :func:`repro.engine.updates.apply_update`: ``add_edge`` on an
+    existing edge is a no-op, ``remove_vertex`` of an unknown vertex
+    raises, ``set_profile`` to the same closure is a no-op, and so on.
+    Raises the same exception the real apply would (``VertexNotFoundError``,
+    ``InvalidInputError``) so callers can refuse a bad batch *before*
+    logging it.
+    """
+    vstate: dict = {}
+    pstate: dict = {}
+    estate: dict = {}
+    dead: Set[Vertex] = set()  # base edges of these vertices no longer count
+
+    def present(x: Vertex) -> bool:
+        if x in vstate:
+            return vstate[x]
+        return x in pg
+
+    def prof(x: Vertex) -> FrozenSet[int]:
+        if x in pstate:
+            return pstate[x]
+        return pg.labels(x)
+
+    def edge_present(x: Vertex, y: Vertex) -> bool:
+        key = (x, y) if repr(x) <= repr(y) else (y, x)
+        if key in estate:
+            return estate[key]
+        if x in dead or y in dead:
+            return False
+        return pg.graph.has_edge(x, y)
+
+    def set_edge(x: Vertex, y: Vertex, present_now: bool) -> None:
+        key = (x, y) if repr(x) <= repr(y) else (y, x)
+        estate[key] = present_now
+
+    effective = 0
+    for update in updates:
+        op = update.op
+        if op == "add_edge":
+            u, v = update.u, update.v
+            if u == v:
+                raise InvalidInputError(f"self-loop on vertex {u!r} is not allowed")
+            if edge_present(u, v):
+                continue
+            for w in (u, v):
+                if not present(w):
+                    vstate[w] = True
+                    pstate[w] = frozenset()
+            set_edge(u, v, True)
+            effective += 1
+        elif op == "remove_edge":
+            if not edge_present(update.u, update.v):
+                continue
+            set_edge(update.u, update.v, False)
+            effective += 1
+        elif op == "add_vertex":
+            closed = pg._coerce_profile(update.labels or (), validate=True)
+            if present(update.u):
+                continue
+            vstate[update.u] = True
+            pstate[update.u] = closed
+            effective += 1
+        elif op == "remove_vertex":
+            v = update.u
+            if not present(v):
+                raise VertexNotFoundError(v)
+            vstate[v] = False
+            pstate[v] = frozenset()
+            dead.add(v)
+            for key in list(estate):
+                if v in key:
+                    estate[key] = False
+            effective += 1
+        elif op == "set_profile":
+            v = update.u
+            if not present(v):
+                raise VertexNotFoundError(v)
+            closed = pg._coerce_profile(update.labels or (), validate=True)
+            if closed == prof(v):
+                continue
+            pstate[v] = closed
+            effective += 1
+        else:  # pragma: no cover - GraphUpdate rejects unknown ops
+            raise InvalidInputError(f"unknown update op {op!r}")
+    return effective, pg.version + effective
+
+
+# ----------------------------------------------------------------------
+# the log itself
+# ----------------------------------------------------------------------
+class WriteAheadLog:
+    """One append-only log file of :class:`WalRecord` frames.
+
+    Opening scans the existing file front to back: complete, CRC-valid
+    frames are counted; the first invalid frame and everything after it
+    are treated as a torn tail from a crash mid-append and truncated
+    (the byte count lands in :attr:`dropped_bytes`). The file handle then
+    stays open in append mode; every :meth:`append` is flushed and
+    fsync'd before it returns.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._num_records = 0
+        self._last_version: Optional[int] = None
+        self._dropped_bytes = 0
+        valid_end = self._scan()
+        size = self._path.stat().st_size if self._path.exists() else 0
+        if valid_end < size:
+            self._dropped_bytes = size - valid_end
+            with open(self._path, "r+b") as fh:
+                fh.truncate(valid_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._fh = open(self._path, "ab")
+
+    def _scan(self) -> int:
+        """Validate existing frames; returns the end offset of the last good one."""
+        if not self._path.exists():
+            return 0
+        raw = self._path.read_bytes()
+        pos = 0
+        while pos + _FRAME.size <= len(raw):
+            length, crc = _FRAME.unpack_from(raw, pos)
+            start = pos + _FRAME.size
+            end = start + length
+            if end > len(raw):
+                break  # torn tail: frame announced more bytes than exist
+            payload = raw[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # torn tail: payload bytes incomplete or scrambled
+            try:
+                record = WalRecord.from_payload(json.loads(payload.decode("utf-8")))
+            except (ValueError, WalCorruptError, InvalidInputError):
+                break
+            self._num_records += 1
+            self._last_version = record.version
+            pos = end
+        return pos
+
+    # -- introspection -------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """Location of the log file."""
+        return self._path
+
+    @property
+    def num_records(self) -> int:
+        """Complete records currently in the log."""
+        return self._num_records
+
+    @property
+    def last_version(self) -> Optional[int]:
+        """``version`` of the newest record (None when the log is empty)."""
+        return self._last_version
+
+    @property
+    def dropped_bytes(self) -> int:
+        """Torn-tail bytes discarded when the log was opened (usually 0)."""
+        return self._dropped_bytes
+
+    # -- writing -------------------------------------------------------
+    def append(
+        self, base: int, version: int, updates: Sequence[GraphUpdate]
+    ) -> WalRecord:
+        """Frame, append and fsync one batch; returns the logged record.
+
+        Must be called *before* the corresponding in-memory apply — that
+        ordering is the whole durability argument. Refuses version
+        brackets that don't extend the log (a gap here would make the
+        record unreplayable).
+        """
+        if self._fh.closed:
+            raise WalError(f"{self._path}: log is closed")
+        if version < base:
+            raise WalError(f"record version {version} precedes its base {base}")
+        if self._last_version is not None and base < self._last_version:
+            raise WalError(
+                f"record base {base} precedes the log tail "
+                f"(last logged version {self._last_version})"
+            )
+        record = WalRecord(base, version, updates)
+        payload = json.dumps(record.to_payload(), separators=(",", ":")).encode("utf-8")
+        self._fh.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        self._fh.write(payload)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._num_records += 1
+        self._last_version = version
+        return record
+
+    def truncate(self) -> None:
+        """Drop every record (called after its effects reach a snapshot)."""
+        if self._fh.closed:
+            raise WalError(f"{self._path}: log is closed")
+        self._fh.truncate(0)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._num_records = 0
+        self._last_version = None
+
+    def close(self) -> None:
+        """Close the file handle; the log object is unusable afterwards."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading / replay ----------------------------------------------
+    def records(self) -> List[WalRecord]:
+        """Every complete record, oldest first (re-read from disk)."""
+        self._fh.flush()
+        out: List[WalRecord] = []
+        raw = self._path.read_bytes()
+        pos = 0
+        while pos + _FRAME.size <= len(raw):
+            length, crc = _FRAME.unpack_from(raw, pos)
+            start = pos + _FRAME.size
+            end = start + length
+            if end > len(raw) or zlib.crc32(raw[start:end]) != crc:
+                break
+            out.append(WalRecord.from_payload(json.loads(raw[start:end].decode("utf-8"))))
+            pos = end
+        return out
+
+    def replay_into(self, pg: ProfiledGraph) -> int:
+        """Re-apply logged batches onto ``pg``; returns batches applied.
+
+        Records with ``version <= pg.version`` are already reflected in
+        the graph (they were folded into the snapshot ``pg`` came from)
+        and are skipped. Each remaining record must start exactly at the
+        graph's current version — a mismatch means the snapshot and log
+        disagree, and replay raises :class:`WalReplayError` rather than
+        guess. After replay the graph sits at the last record's
+        ``version``: the exact pre-crash state.
+        """
+        applied = 0
+        for number, record in enumerate(self.records(), start=1):
+            if record.version <= pg.version:
+                continue
+            if record.base != pg.version:
+                raise WalReplayError(
+                    f"{self._path}: record {number} applies at version "
+                    f"{record.base} but the graph is at {pg.version}"
+                )
+            for update in record.updates:
+                apply_update(pg, update)
+            if pg.version != record.version:
+                raise WalReplayError(
+                    f"{self._path}: record {number} promised version "
+                    f"{record.version} but replay produced {pg.version}"
+                )
+            applied += 1
+        return applied
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WriteAheadLog({self._path}, records={self._num_records})"

@@ -1,0 +1,217 @@
+"""Crash-recovery gauntlet: kill -9 a durable server, reboot, compare.
+
+The CI ``durability`` job runs exactly this module. Each test drives a
+real ``repro serve --data-dir`` subprocess over HTTP:
+
+* stream acknowledged single-update batches at it,
+* ``SIGKILL`` it mid-stream (no drain, no snapshot — the WAL is the only
+  survivor),
+* restart on the same data directory,
+* assert the recovered ``graph_version`` equals the last version the
+  dead server *acknowledged*, and that query answers match a shadow
+  :class:`~repro.api.CommunityService` that applied the same updates
+  in-process (ground truth by construction).
+
+A second scenario interleaves a clean SIGINT shutdown (which checkpoints
+a snapshot) before the kill, so recovery exercises snapshot *plus* WAL
+replay rather than WAL-only replay.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import CommunityService, Query
+from repro.datasets import fig1_profiled_graph
+from repro.server import ServerClient
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Single-update batches streamed at the server before it is killed.
+#: fig1 vertices are letters, labels are taxonomy names; every batch is
+#: effective (bumps the version exactly once) so acked versions are 1..N.
+UPDATE_STREAM = [
+    {"op": "add_vertex", "u": "Z1", "labels": ["ML", "DMS"]},
+    {"op": "add_edge", "u": "Z1", "v": "A"},
+    {"op": "add_edge", "u": "Z1", "v": "B"},
+    {"op": "add_vertex", "u": "Z2", "labels": ["AI"]},
+    {"op": "add_edge", "u": "Z2", "v": "Z1"},
+    {"op": "set_profile", "u": "Z2", "labels": ["IS", "HW"]},
+    {"op": "remove_edge", "u": "A", "v": "B"},
+    {"op": "add_edge", "u": "Z2", "v": "C"},
+]
+
+#: Queries whose answers must survive the crash byte-for-byte.
+PROBES = [Query(vertex="D", k=2), Query(vertex="Z1", k=1), Query(vertex="A", k=1)]
+
+
+def _start_server(data_dir: Path):
+    """Launch ``repro serve --data-dir`` and return ``(proc, port)``."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--dataset", "fig1",
+         "--port", "0", "--data-dir", str(data_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=ROOT,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    banner = proc.stdout.readline()
+    assert "serving fig1 at http://127.0.0.1:" in banner, banner
+    port = int(banner.split("http://127.0.0.1:")[1].split()[0].rstrip(")"))
+    return proc, port
+
+
+def _answers(client: ServerClient):
+    """Stable answer signature for every probe query."""
+    out = []
+    for probe in PROBES:
+        resp = client.query(probe)
+        out.append(
+            (resp.matched,
+             sorted((tuple(sorted(c.vertices, key=repr)), c.theme)
+                    for c in resp.communities))
+        )
+    return out
+
+
+def _shadow_answers(updates):
+    """Ground truth: the same updates applied to an in-process service."""
+    with CommunityService(fig1_profiled_graph()) as shadow:
+        if updates:
+            shadow.apply_updates(updates)
+        version = shadow.pg.version
+        answers = []
+        for probe in PROBES:
+            resp = shadow.query(probe)
+            answers.append(
+                (resp.matched,
+                 sorted((tuple(sorted(c.vertices, key=repr)), c.theme)
+                        for c in resp.communities))
+            )
+    return version, answers
+
+
+def _kill_dash_nine(proc):
+    """SIGKILL and reap; the process must not get a chance to clean up."""
+    proc.kill()
+    proc.communicate(timeout=30)
+    assert proc.returncode != 0  # died hard, no graceful exit path
+
+
+def _shutdown_clean(proc):
+    proc.send_signal(signal.SIGINT)
+    out, err = proc.communicate(timeout=30)
+    assert proc.returncode == 0, err
+    return out, err
+
+
+@pytest.mark.durability
+class TestKillNineRecovery:
+    """The durability gauntlet proper."""
+
+    def test_wal_only_recovery_after_sigkill(self, tmp_path):
+        data_dir = tmp_path / "data"
+        proc, port = _start_server(data_dir)
+        acked = 0
+        try:
+            with ServerClient("127.0.0.1", port) as client:
+                for i, update in enumerate(UPDATE_STREAM, start=1):
+                    receipt = client.update([update])
+                    assert receipt["graph_version"] == i
+                    acked = receipt["graph_version"]
+        finally:
+            _kill_dash_nine(proc)
+
+        # No snapshot was ever written: recovery is pure WAL replay.
+        assert not (data_dir / "snapshot.bin").exists()
+        assert (data_dir / "wal.log").stat().st_size > 0
+
+        expected_version, expected = _shadow_answers(UPDATE_STREAM)
+        assert expected_version == acked
+
+        proc, port = _start_server(data_dir)
+        try:
+            with ServerClient("127.0.0.1", port) as client:
+                health = client.healthz()
+                assert health["graph_version"] == acked
+                assert health["durable"] is True
+                assert _answers(client) == expected
+        finally:
+            out, _ = _shutdown_clean(proc)
+        assert f"booted from cold at graph version {acked}" in out
+        assert f"replayed {len(UPDATE_STREAM)} WAL record(s)" in out
+
+    def test_snapshot_plus_wal_recovery(self, tmp_path):
+        data_dir = tmp_path / "data"
+        half = len(UPDATE_STREAM) // 2
+
+        # Round 1: apply the first half, then shut down cleanly. The
+        # drain checkpoints a snapshot and truncates the WAL.
+        proc, port = _start_server(data_dir)
+        try:
+            with ServerClient("127.0.0.1", port) as client:
+                for update in UPDATE_STREAM[:half]:
+                    client.update([update])
+        finally:
+            _shutdown_clean(proc)
+        assert (data_dir / "snapshot.bin").exists()
+        assert (data_dir / "wal.log").stat().st_size == 0
+
+        # Round 2: apply the second half, then kill -9 mid-flight.
+        proc, port = _start_server(data_dir)
+        try:
+            with ServerClient("127.0.0.1", port) as client:
+                assert client.healthz()["graph_version"] == half
+                for update in UPDATE_STREAM[half:]:
+                    client.update([update])
+        finally:
+            _kill_dash_nine(proc)
+
+        # Round 3: recovery = snapshot (first half) + WAL (second half).
+        expected_version, expected = _shadow_answers(UPDATE_STREAM)
+        proc, port = _start_server(data_dir)
+        try:
+            with ServerClient("127.0.0.1", port) as client:
+                health = client.healthz()
+                assert health["graph_version"] == expected_version
+                assert _answers(client) == expected
+                stats = client.stats()
+                assert stats["storage"]["boot"]["source"] == "snapshot"
+                assert stats["storage"]["boot"]["snapshot_version"] == half
+                assert stats["storage"]["boot"]["replayed_records"] == \
+                    len(UPDATE_STREAM) - half
+        finally:
+            out, _ = _shutdown_clean(proc)
+        assert f"booted from snapshot at graph version {expected_version}" in out
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        """Crashing the *recovered* server immediately loses nothing."""
+        data_dir = tmp_path / "data"
+        proc, port = _start_server(data_dir)
+        try:
+            with ServerClient("127.0.0.1", port) as client:
+                client.update([UPDATE_STREAM[0]])
+        finally:
+            _kill_dash_nine(proc)
+
+        for _ in range(2):  # recover, crash again without writing, recover
+            proc, port = _start_server(data_dir)
+            try:
+                with ServerClient("127.0.0.1", port) as client:
+                    assert client.healthz()["graph_version"] == 1
+            finally:
+                _kill_dash_nine(proc)
+
+        expected_version, expected = _shadow_answers(UPDATE_STREAM[:1])
+        proc, port = _start_server(data_dir)
+        try:
+            with ServerClient("127.0.0.1", port) as client:
+                assert client.healthz()["graph_version"] == expected_version
+                assert _answers(client) == expected
+        finally:
+            _shutdown_clean(proc)

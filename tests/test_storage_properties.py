@@ -1,0 +1,168 @@
+"""Hypothesis property: save → load → replay ≡ in-memory apply.
+
+Random profiled graphs (mixed int/str vertices, random taxonomies and
+profiles) take random ``GraphUpdate`` streams. The in-memory timeline
+applies every batch directly; the durable timeline snapshots the initial
+state, logs each batch to a WAL, then reboots (load + replay). The two
+must agree exactly: same version, same topology, same labels, and an
+index that answers like a fresh build (the replayed graph repairs its
+loaded CP-tree incrementally, so this also exercises the journal path on
+snapshot-restored indexes).
+
+The same machinery checks the WAL's version-tagging contract: the version
+:func:`~repro.storage.wal.preview_updates` predicts *before* the apply
+must equal the version the apply produces.
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.profiled_graph import ProfiledGraph
+from repro.engine.updates import GraphUpdate, apply_update
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+from repro.ptree.taxonomy import Taxonomy
+from repro.index.cptree import CPTree
+from repro.storage import (
+    WriteAheadLog,
+    encode_payload,
+    load_snapshot,
+    preview_updates,
+    save_snapshot,
+)
+
+
+def assert_graphs_equal(a: ProfiledGraph, b: ProfiledGraph) -> None:
+    """Topology, labels, taxonomy and version must all agree."""
+    assert a.version == b.version
+    assert a.graph.vertex_set() == b.graph.vertex_set()
+    assert a.num_edges == b.num_edges
+    for v in a.vertices():
+        assert a.graph.adjacency()[v] == b.graph.adjacency()[v]
+        assert a.labels(v) == b.labels(v)
+    assert a.taxonomy.num_nodes == b.taxonomy.num_nodes
+    for node in range(a.taxonomy.num_nodes):
+        assert a.taxonomy.name(node) == b.taxonomy.name(node)
+        assert a.taxonomy.parent(node) == b.taxonomy.parent(node)
+
+
+def assert_index_equivalent(index: CPTree, reference: ProfiledGraph) -> None:
+    """``index`` must answer exactly like a fresh build over ``reference``."""
+    fresh = CPTree(reference.graph, reference.all_labels(),
+                   reference.taxonomy, validate=False)
+    assert set(index.labels()) == set(fresh.labels())
+    for label in fresh.labels():
+        mine, theirs = index.node(label), fresh.node(label)
+        assert mine.vertices == theirs.vertices, label
+        for q in sorted(mine.vertices, key=repr)[:4]:
+            for k in (1, 2, 3):
+                assert mine.cltree.kcore_vertices(q, k) == \
+                    theirs.cltree.kcore_vertices(q, k), (label, q, k)
+
+#: Vertex pool: deliberately mixed int/str to cover both intern tags.
+VERTICES = [0, 1, 2, 3, 4, "a", "b", "c"]
+
+
+@st.composite
+def profiled_graphs(draw) -> ProfiledGraph:
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    num_tax = draw(st.integers(1, 8))
+    tax = Taxonomy()
+    for i in range(1, num_tax):
+        tax.add(f"L{i}", parent=rng.randrange(i))
+    g = Graph()
+    for v in draw(st.lists(st.sampled_from(VERTICES), min_size=1, unique=True)):
+        g.add_vertex(v)
+    pool = list(g.vertices())
+    for _ in range(draw(st.integers(0, 12))):
+        u, v = rng.choice(pool), rng.choice(pool)
+        if u != v:
+            g.add_edge(u, v)
+    profiles = {
+        v: frozenset(rng.sample(range(num_tax), rng.randrange(num_tax)))
+        for v in pool
+    }
+    return ProfiledGraph(g, tax, profiles, validate=False)
+
+
+@st.composite
+def update_batches(draw):
+    """Batches of raw update specs; validity is decided at apply time."""
+    def one(rng_seed):
+        rng = random.Random(rng_seed)
+        op = rng.choice(
+            ["add_edge", "remove_edge", "add_vertex", "remove_vertex",
+             "set_profile"]
+        )
+        u = rng.choice(VERTICES)
+        if op in ("add_edge", "remove_edge"):
+            v = rng.choice(VERTICES)
+            if u == v:
+                op = "remove_vertex"
+                return GraphUpdate(op, u)
+            return GraphUpdate(op, u, v)
+        if op in ("add_vertex", "set_profile"):
+            labels = rng.sample(range(8), rng.randrange(3))
+            return GraphUpdate(op, u, labels=labels)
+        return GraphUpdate(op, u)
+
+    seeds = draw(st.lists(st.lists(st.integers(0, 10_000), min_size=1,
+                                   max_size=4), max_size=6))
+    return [[one(s) for s in batch] for batch in seeds]
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(pg=profiled_graphs(), batches=update_batches())
+def test_save_load_replay_equals_in_memory_apply(pg, batches):
+    with tempfile.TemporaryDirectory() as tmp:
+        _check_replay_equivalence(pg, batches, Path(tmp))
+
+
+def _check_replay_equivalence(pg, batches, tmp_path):
+    pg.index()
+    snap = tmp_path / "snap.bin"
+    save_snapshot(pg, snap)
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    for batch in batches:
+        # Clamp label ids to the actual taxonomy so add_vertex/set_profile
+        # are mostly valid; anything still invalid must be rejected whole.
+        batch = [
+            GraphUpdate(u.op, u.u, u.v,
+                        labels=[x % pg.taxonomy.num_nodes for x in u.labels]
+                        if u.labels is not None else None)
+            for u in batch
+        ]
+        try:
+            _, predicted = preview_updates(pg, batch)
+        except ReproError:
+            continue  # invalid batch: neither logged nor applied
+        wal.append(pg.version, predicted, batch)
+        for update in batch:
+            apply_update(pg, update)
+        # preview's promise: the tag written before the apply is the
+        # version the apply lands on.
+        assert pg.version == predicted
+    rebooted = load_snapshot(snap)
+    wal.replay_into(rebooted)
+    wal.close()
+    assert_graphs_equal(pg, rebooted)
+    assert_index_equivalent(rebooted.index(), pg)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(pg=profiled_graphs())
+def test_encoding_is_canonical(pg):
+    """Equal states encode to equal bytes; a re-encoded reload is stable."""
+    pg.index()
+    blob = encode_payload(pg, pg.index())
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = Path(tmp) / "snap.bin"
+        save_snapshot(pg, snap)
+        loaded = load_snapshot(snap)
+    assert encode_payload(loaded, loaded.index()) == blob
