@@ -1,21 +1,24 @@
 #!/usr/bin/env python3
 """Docstring-coverage gate for the public surface of ``src/repro``.
 
-Walks every module under ``src/repro`` with :mod:`ast` (no imports, so it
-is fast and side-effect free) and counts docstrings on the *public*
-surface:
+Since the lint framework landed, this script is a **thin wrapper** over
+the ``docstring-coverage`` checker in :mod:`repro.lint` — one rule set,
+two presentations. The checker (run via ``repro lint``) reports each
+undocumented public item as a finding and gates at exactly zero; this
+wrapper keeps the historical percentage interface for CI and for humans:
 
 * module docstrings;
 * public classes (name not starting with ``_``);
 * public functions and public-class methods (dunders other than
-  ``__init__`` are exempt — they are documented by their protocol; private
-  names and anything nested inside a function body are skipped).
+  ``__init__`` are exempt — they are documented by their protocol;
+  private names and anything nested inside a function body are skipped).
 
 The gate is **baseline-or-better**: the suite fails when coverage drops
 below :data:`BASELINE_PERCENT`, which is pinned from a measured value.
 When coverage grows, raise the pin (``--measure`` prints the current
-number); never lower it to make a change pass. Wired into the CI lint job
-and into ``tests/test_docs.py`` so it also runs under tier-1.
+number); never lower it to make a change pass. Wired into the CI lint
+job (via ``repro lint --ci``) and into ``tests/test_docs.py`` so it
+also runs under tier-1.
 
 Usage::
 
@@ -28,10 +31,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
 #: The pinned gate (percent). Measured 100.0 at the serving PR; keep the
 #: pin slightly below so a single new helper module cannot flake CI, and
@@ -39,72 +41,42 @@ from typing import Iterator, List, Tuple
 #: pass.
 BASELINE_PERCENT = 99.0
 
-SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src" / "repro"
 
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_") or name == "__init__"
-
-
-def _iter_items(path: Path) -> Iterator[Tuple[str, bool]]:
-    """Yield ``(qualified_name, has_docstring)`` for one module's surface."""
-    tree = ast.parse(path.read_text(encoding="utf-8"))
-    module_name = str(path.relative_to(SRC.parent)).replace("/", ".")[: -len(".py")]
-    yield module_name, ast.get_docstring(tree) is not None
-
-    def walk(nodes, prefix: str, in_class: bool) -> Iterator[Tuple[str, bool]]:
-        for node in nodes:
-            if isinstance(node, ast.ClassDef):
-                if not _is_public(node.name):
-                    continue
-                qualname = f"{prefix}.{node.name}"
-                yield qualname, ast.get_docstring(node) is not None
-                yield from walk(node.body, qualname, in_class=True)
-            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if not _is_public(node.name):
-                    continue
-                if node.name.startswith("__") and node.name != "__init__":
-                    continue  # non-init dunders are protocol-documented
-                if node.name == "__init__" and in_class:
-                    # An __init__ is covered when it *or* its class
-                    # documents the parameters (numpydoc style puts them on
-                    # the class); only count it when it has a body beyond
-                    # defaults worth documenting — keep it simple: exempt.
-                    continue
-                has_doc = ast.get_docstring(node) is not None
-                if not has_doc and in_class and _is_trivial_override(node):
-                    continue  # e.g. a pass-through hook with no new contract
-                yield f"{prefix}.{node.name}", has_doc
-                # Nested defs are implementation detail: do not recurse.
-
-    yield from walk(tree.body, module_name, in_class=False)
-
-
-def _is_trivial_override(node: ast.FunctionDef) -> bool:
-    """A body of at most one simple statement (``pass``/``...``/return)."""
-    body = [n for n in node.body if not isinstance(n, ast.Expr) or not isinstance(
-        n.value, ast.Constant
-    )]
-    return len(body) <= 1 and all(
-        isinstance(n, (ast.Pass, ast.Return, ast.Raise)) for n in body
-    )
+# The wrapper must work when invoked as a plain script (CI calls it
+# without PYTHONPATH); repro.lint is stdlib-only so this import is safe
+# from any interpreter state.
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
 
 
 def collect(src: Path = SRC) -> List[Tuple[str, bool]]:
-    """All ``(item, documented)`` pairs across the package, sorted."""
+    """All ``(item, documented)`` pairs across the package, sorted.
+
+    Delegates to :func:`repro.lint.checkers.docstrings.iter_items` so
+    this script and ``repro lint`` can never disagree about the rules.
+    """
+    from repro.lint.checkers.docstrings import iter_items
+    from repro.lint.project import load_modules
+
     items: List[Tuple[str, bool]] = []
-    for path in sorted(src.rglob("*.py")):
-        items.extend(_iter_items(path))
+    for module in load_modules([src], base=ROOT):
+        items.extend(
+            (qualname, documented) for qualname, documented, _ in iter_items(module)
+        )
     return items
 
 
 def coverage_percent(items: List[Tuple[str, bool]]) -> float:
+    """Documented fraction of ``items`` as a percentage (100.0 if empty)."""
     if not items:
         return 100.0
     return 100.0 * sum(1 for _, ok in items if ok) / len(items)
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--min", type=float, default=BASELINE_PERCENT,
                         help=f"fail below this percent (default {BASELINE_PERCENT})")

@@ -1,62 +1,14 @@
-"""The :class:`Engine` protocol — the structural contract of a query engine.
+"""Historical home of the :class:`Engine` protocol (now a re-export).
 
-Anything that serves PCS queries on behalf of :func:`repro.core.search.pcs`
-must look like an engine: own a profiled graph (``pg``), answer single
-queries (``explore``), answer batches (``explore_many``) and report serving
-counters (``stats``). :class:`~repro.engine.explorer.CommunityExplorer` is
-the canonical implementation and :class:`~repro.parallel.ParallelExplorer`
-the process-sharded one; any further engine (async, remote, multi-backend)
-implements the same protocol and becomes a drop-in ``engine=`` argument.
-
-The protocol is ``runtime_checkable`` so call sites can *verify* conformance
-instead of silently duck-typing (``isinstance(obj, Engine)`` checks member
-presence). It deliberately lives in a dependency-free module: importing it
-from :mod:`repro.core.search` must not pull in the engine package (which
-itself imports ``core.search``).
+The protocol moved to :mod:`repro.core.protocol` when the layer-DAG
+checker landed: :mod:`repro.core.search` consumes it, and core (layer 3)
+must not eagerly import the api package (layer 7). This module stays as
+a frozen alias so existing imports — ``from repro.api.protocol import
+Engine`` and ``repro.api.Engine`` — keep working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Hashable, Iterable, List, Optional, Protocol, runtime_checkable
+from repro.core.protocol import Engine, Vertex
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.community import PCSResult
-    from repro.core.profiled_graph import ProfiledGraph
-
-Vertex = Hashable
-
-
-@runtime_checkable
-class Engine(Protocol):
-    """Structural interface of a PCS query engine.
-
-    Implementations must expose:
-
-    ``pg``
-        The :class:`~repro.core.profiled_graph.ProfiledGraph` the engine
-        serves. ``pcs(..., engine=e)`` verifies ``e.pg is pg`` so a query
-        can never silently run against the wrong graph.
-    ``explore(q, k=None, method=None, cohesion=None)``
-        Serve one query, returning a
-        :class:`~repro.core.community.PCSResult`.
-    ``explore_many(specs, workers=None)``
-        Serve a batch; results align with the input order.
-    ``stats()``
-        A snapshot of serving counters.
-    """
-
-    pg: "ProfiledGraph"
-
-    def explore(
-        self,
-        q: Vertex,
-        k: Optional[int] = None,
-        method: Optional[str] = None,
-        cohesion: Optional[object] = None,
-    ) -> "PCSResult": ...
-
-    def explore_many(
-        self, specs: Iterable[object], workers: Optional[int] = None
-    ) -> List["PCSResult"]: ...
-
-    def stats(self) -> object: ...
+__all__ = ["Engine", "Vertex"]

@@ -44,7 +44,14 @@ Vertex = Hashable
 DEFAULT_K = 6
 DEFAULT_METHOD = "adv-P"
 
-__all__ = ["Query", "QueryBuilder", "cohesion_name", "normalize_method"]
+__all__ = [
+    "DEFAULT_K",
+    "DEFAULT_METHOD",
+    "Query",
+    "QueryBuilder",
+    "cohesion_name",
+    "normalize_method",
+]
 
 _QUERY_FIELDS = ("vertex", "k", "method", "cohesion", "limit", "min_size")
 

@@ -61,6 +61,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.api import CommunityService, Query
@@ -401,6 +402,84 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return 2
 
 
+#: Import pairs proven order-independent by ``repro lint --ci`` — each is
+#: imported "upper layer first" in a fresh interpreter so a latent cycle
+#: (only visible under one import order) cannot land. Historically the CI
+#: api-surface job ran these as ad-hoc shell one-liners.
+_IMPORT_ORDER_PAIRS = (
+    ("repro.api.service", "repro.cli"),
+    ("repro.engine", "repro.api"),
+    ("repro.core.search", "repro.api.service"),
+    ("repro.server", "repro.api"),
+    ("repro.storage", "repro.api"),
+)
+
+
+def _import_order_smoke() -> int:
+    """Run the import-order independence checks in fresh interpreters.
+
+    Returns the number of failing pairs (0 == pass). The static
+    layer-DAG checker proves eager imports are acyclic; this dynamic
+    smoke additionally exercises the lazy edges (``__getattr__`` hubs,
+    function-local imports) that static analysis deliberately exempts.
+    """
+    import os
+    import subprocess
+
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    failures = 0
+    for first, second in _IMPORT_ORDER_PAIRS:
+        proc = subprocess.run(
+            [sys.executable, "-c", f"import {first}, {second}"],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        status = "ok" if proc.returncode == 0 else "FAIL"
+        print(f"import-order: {first} before {second}: {status}")
+        if proc.returncode != 0:
+            failures += 1
+            sys.stderr.write(proc.stderr)
+    return failures
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: run the AST-based invariant checkers (repro.lint)."""
+    from repro.lint import all_checkers, run_lint
+
+    if args.list:
+        for checker in all_checkers():
+            print(f"{checker.id}: {checker.description}")
+        return 0
+    select = [s for s in (args.select or "").split(",") if s] or None
+    ignore = [s for s in (args.ignore or "").split(",") if s] or None
+    paths = [Path(p) for p in args.paths] or None
+    try:
+        report = run_lint(paths, select=select, ignore=ignore)
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    code = report.exit_code()
+    if args.ci:
+        failures = _import_order_smoke()
+        if failures:
+            print(f"lint --ci: {failures} import-order pair(s) failed", file=sys.stderr)
+            code = code or 1
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (one subcommand per workflow)."""
     parser = argparse.ArgumentParser(
@@ -536,6 +615,24 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--workers", type=int, default=None)
     be.add_argument("--out", help="write a JSON report here")
     be.set_defaults(func=cmd_bench_engine)
+
+    li = sub.add_parser(
+        "lint",
+        help="run the AST invariant checkers over src/repro (repro.lint)",
+    )
+    li.add_argument("paths", nargs="*", default=[],
+                    help="files/directories to lint (default: the installed repro package)")
+    li.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format on stdout")
+    li.add_argument("--json-out",
+                    help="also write the JSON report to this file (CI artifact)")
+    li.add_argument("--select", help="comma-separated checker ids to run")
+    li.add_argument("--ignore", help="comma-separated checker ids to skip")
+    li.add_argument("--list", action="store_true",
+                    help="list registered checkers and exit")
+    li.add_argument("--ci", action="store_true",
+                    help="also run the dynamic import-order smoke pairs")
+    li.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -28,6 +28,7 @@ from repro.core.feasibility import FeasibilityOracle
 from repro.core.incre import incre_query
 from repro.core.keywords import keyword_communities, maximal_feasible_keyword_sets
 from repro.core.profiled_graph import DatasetStats, ProfiledGraph
+from repro.core.protocol import Engine
 from repro.core.relaxed import (
     FractionalKCoreCohesion,
     degree_relaxed_pcs,
@@ -44,6 +45,7 @@ from repro.core.variants import (
 )
 
 __all__ = [
+    "Engine",
     "ProfiledGraph",
     "DatasetStats",
     "ProfiledCommunity",

@@ -12,7 +12,6 @@ from __future__ import annotations
 import warnings
 from typing import Hashable, Optional
 
-from repro.api.protocol import Engine
 from repro.core.advanced import advanced_query
 from repro.core.basic import basic_query
 from repro.core.closed import closed_query
@@ -20,6 +19,7 @@ from repro.core.cohesion import CohesionModel
 from repro.core.community import PCSResult
 from repro.core.incre import incre_query
 from repro.core.profiled_graph import ProfiledGraph
+from repro.core.protocol import Engine
 from repro.errors import InvalidInputError
 from repro.index.cptree import CPTree
 
@@ -87,7 +87,7 @@ def pcs(
         Optional alternative structure model (``"k-truss"``, ``"k-clique"``
         or a :class:`~repro.core.cohesion.CohesionModel` instance).
     engine:
-        Optional :class:`~repro.api.protocol.Engine` (canonically a
+        Optional :class:`~repro.core.protocol.Engine` (canonically a
         :class:`~repro.engine.explorer.CommunityExplorer`). When given, the
         query is served through the engine — its cached indexes and LRU
         result cache — instead of dispatching directly; the engine must

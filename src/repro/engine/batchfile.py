@@ -29,18 +29,25 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Hashable, List, Optional, Union
+from typing import TYPE_CHECKING, Hashable, List, Optional, Union
 
-from repro.api.query import Query
 from repro.core.community import PCSResult
 from repro.core.profiled_graph import ProfiledGraph
 from repro.engine.explorer import QuerySpec
 from repro.errors import InvalidInputError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.query import Query
+
 Vertex = Hashable
 
 
-def _coerce_item(item: object) -> Query:
+def _coerce_item(item: object) -> "Query":
+    # Imported lazily (the explorer.explore_query idiom): the engine sits
+    # below the api package in the layer DAG, so the dependency must not
+    # be eager — see repro.lint.checkers.layers.
+    from repro.api.query import Query
+
     if isinstance(item, list):
         item = tuple(item)
     return Query.coerce(item)
@@ -53,6 +60,8 @@ def parse_queries(
     stripped = text.strip()
     if not stripped:
         return []
+    from repro.api.query import Query
+
     if stripped[0] == "[":
         # Whole-file JSON list — but a JSON-lines file may also start with
         # an ``[q, k]``-style array item, so fall through to per-line

@@ -618,13 +618,19 @@ class CommunityExplorer:
             if not maintain_cores:
                 self._cores = None
             for op in ops:
-                applied += 1 if self._apply_one(op, maintain_cores) else 0
+                applied += 1 if self._apply_one_locked(op, maintain_cores) else 0
             if maintain_cores:
                 self._cores_version = self.pg.version
             repaired_labels = 0
             if repair and self.pg.has_index():
                 repaired_labels = self.pg.pending_repair_labels
                 self.pg.index()  # incremental repair (direct: lock is held)
+            # Capture the version before releasing the lock: a concurrent
+            # batch could commit in the gap and the receipt would tag this
+            # batch's work with the *other* batch's version (the service
+            # layer compares it against its predicted version for the
+            # integrity check, so a torn read here is a false alarm there).
+            version = self.pg.version
         elapsed = time.perf_counter() - start
         with self._counters.lock:
             self._counters.updates_applied += applied
@@ -632,12 +638,12 @@ class CommunityExplorer:
         return UpdateReceipt(
             requested=len(ops),
             applied=applied,
-            version=self.pg.version,
+            version=version,
             repaired_labels=repaired_labels,
             seconds=elapsed,
         )
 
-    def _apply_one(self, op: GraphUpdate, maintain_cores: bool) -> bool:
+    def _apply_one_locked(self, op: GraphUpdate, maintain_cores: bool) -> bool:
         pg = self.pg
         cores = self._cores if maintain_cores else None
         kind = op.op

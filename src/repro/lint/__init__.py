@@ -1,0 +1,35 @@
+"""Static analysis for the repro codebase: ``repro lint``.
+
+A stdlib-only, AST-based invariant checker suite. Where ruff enforces
+generic Python hygiene, this package enforces *this repo's* invariants —
+the lock discipline of the serving stack, the package layer DAG, the
+storage durability protocol, version-tagging of query results, API
+surface honesty, and docstring coverage. See docs/static-analysis.md
+for the checker catalogue and the suppression policy.
+
+Programmatic use::
+
+    from repro.lint import run_lint
+    report = run_lint()          # lints the installed src/repro
+    assert report.exit_code() == 0, report.render_text()
+
+The package sits at layer 0 of the import DAG: it imports nothing from
+the rest of ``repro``, so any layer (the CLI, the tests, CI) can use it
+without ordering constraints.
+"""
+
+from repro.lint.findings import Finding, LintReport, Suppressed
+from repro.lint.registry import Checker, all_checkers, checker_ids, register
+from repro.lint.runner import default_target, run_lint
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "Suppressed",
+    "all_checkers",
+    "checker_ids",
+    "default_target",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,23 @@
+"""Built-in checkers for :mod:`repro.lint`.
+
+Importing this package registers every bundled checker with the
+:mod:`repro.lint.registry`; the runner imports it for exactly that side
+effect. Add a new checker by dropping a module here, decorating the
+class with :func:`repro.lint.registry.register`, and importing it below.
+"""
+
+from repro.lint.checkers.docstrings import DocstringCoverageChecker
+from repro.lint.checkers.durability import DurabilityProtocolChecker
+from repro.lint.checkers.hygiene import ApiHygieneChecker
+from repro.lint.checkers.layers import LayerDagChecker
+from repro.lint.checkers.locks import LockDisciplineChecker
+from repro.lint.checkers.versions import VersionTaggingChecker
+
+__all__ = [
+    "ApiHygieneChecker",
+    "DocstringCoverageChecker",
+    "DurabilityProtocolChecker",
+    "LayerDagChecker",
+    "LockDisciplineChecker",
+    "VersionTaggingChecker",
+]

@@ -1,0 +1,186 @@
+"""Shared AST helpers for the lint checkers.
+
+Everything here is pure function-of-the-tree: dotted attribute paths,
+lock-name heuristics, ``with``-guard tracking, and a parent map. The
+helpers encode the repo's conventions in exactly one place so the
+lock-discipline and version-tagging checkers agree on what "inside a
+lock" means.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Attribute-name suffixes that identify a lock-ish object. Matches the
+#: repo's conventions: ``_lock``, ``_index_lock``, ``_counts_lock``,
+#: ``mutation_lock``, ``_cond`` — anything whose final path segment
+#: contains ``lock`` or ``cond``.
+_LOCK_MARKERS = ("lock", "cond")
+
+#: ``threading`` factory callables whose result is a guard object.
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+
+def attr_path(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Dotted path of a Name/Attribute chain, e.g. ``('self', '_lock')``.
+
+    Returns ``None`` when the chain bottoms out in anything other than a
+    plain name (a call result, a subscript, a literal).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def is_lock_name(segment: str) -> bool:
+    """Whether one path segment names a lock by repo convention."""
+    lowered = segment.lower()
+    return any(marker in lowered for marker in _LOCK_MARKERS)
+
+
+def is_lock_path(path: Tuple[str, ...]) -> bool:
+    """Whether a dotted path's final segment names a lock."""
+    return bool(path) and is_lock_name(path[-1])
+
+
+def with_guard_paths(node: ast.With) -> List[Tuple[str, ...]]:
+    """Lock paths a ``with`` statement acquires (empty if none)."""
+    paths = []
+    for item in node.items:
+        expr = item.context_expr
+        # ``with self._lock:`` and ``with self._cond:`` are direct
+        # acquisitions; ``with self._lock()``-style factories are not
+        # used in this repo, so only bare paths count.
+        path = attr_path(expr)
+        if path is not None and is_lock_path(path):
+            paths.append(path)
+    return paths
+
+
+def is_threading_lock_call(node: ast.AST) -> bool:
+    """True for ``threading.Lock()`` / ``Lock()``-style factory calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in LOCK_FACTORIES:
+        return True
+    if isinstance(func, ast.Name) and func.id in LOCK_FACTORIES:
+        return True
+    return False
+
+
+def build_parents(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child → parent map for every node under ``root``."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def iter_functions(
+    class_node: ast.ClassDef,
+) -> Iterator[ast.FunctionDef]:
+    """The direct methods of a class (no nested functions)."""
+    for stmt in class_node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def iter_attribute_accesses(
+    func: ast.FunctionDef,
+) -> Iterator[Tuple[Tuple[str, ...], ast.AST, int]]:
+    """Yield ``(path, node, guard_depth)`` for every outermost attribute
+    chain in a function body, tracking how many lock-``with`` blocks
+    enclose each access.
+
+    ``guard_depth`` counts enclosing ``with`` statements whose context
+    expression is a lock path (see :func:`with_guard_paths`); the lock
+    expression itself is not reported as an access.
+    """
+
+    def visit(node: ast.AST, depth: int) -> Iterator[Tuple[Tuple[str, ...], ast.AST, int]]:
+        if isinstance(node, ast.With):
+            guards = with_guard_paths(node)
+            # Non-lock context expressions still need scanning; the lock
+            # acquisition itself is not an access worth reporting.
+            for item in node.items:
+                item_path = attr_path(item.context_expr)
+                if item_path is None or not is_lock_path(item_path):
+                    yield from visit(item.context_expr, depth)
+                if item.optional_vars is not None:
+                    yield from visit(item.optional_vars, depth)
+            for stmt in node.body:
+                yield from visit(stmt, depth + (1 if guards else 0))
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Nested callables may outlive the lock scope; analyse their
+            # bodies at depth 0 so captured guarded state is flagged.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                yield from visit(stmt, 0)
+            return
+        if isinstance(node, ast.Attribute):
+            path = attr_path(node)
+            if path is not None:
+                yield path, node, depth
+                return  # the chain's inner nodes are part of this access
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, depth)
+
+    for stmt in func.body:
+        yield from visit(stmt, 0)
+
+
+def store_targets(func: ast.FunctionDef) -> List[Tuple[Tuple[str, ...], ast.AST, int]]:
+    """Attribute paths *written* in a function: ``(path, node, depth)``.
+
+    A write is an ``Assign``/``AugAssign``/``AnnAssign`` target, a
+    ``del``, or a subscript store (``self._data[k] = v`` counts as a
+    write to ``self._data``).
+    """
+
+    writes: List[Tuple[Tuple[str, ...], ast.AST, int]] = []
+
+    def record(target: ast.AST, depth: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                record(element, depth)
+            return
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        path = attr_path(node)
+        if path is not None and len(path) > 1:
+            writes.append((path, target, depth))
+
+    def visit(node: ast.AST, depth: int) -> None:
+        if isinstance(node, ast.With):
+            inner = depth + (1 if with_guard_paths(node) else 0)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                visit(stmt, 0)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                record(target, depth)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                record(target, depth)
+        for child in ast.iter_child_nodes(node):
+            visit(child, depth)
+
+    for stmt in func.body:
+        visit(stmt, 0)
+    return writes

@@ -1,0 +1,162 @@
+"""Durability-protocol checker for :mod:`repro.storage`.
+
+Invariant (the crash-safety contract PR 6 introduced): every durable
+write in the storage layer goes through the atomic protocol of
+``save_snapshot`` — write to a **temp file**, ``fsync`` it, atomically
+``os.replace`` onto the target, then fsync the **directory** so the
+rename itself survives power loss. Statically enforced rules, scoped to
+``repro.storage``:
+
+* an ``open(..., "w"/"wb"/"x"/"xb")`` call must be followed, in the
+  same function, by an fsync-ish call and then an ``os.replace`` — a
+  write-mode open with no downstream replace is a torn-write hazard;
+* every ``os.replace`` must be *preceded* (same function) by an
+  fsync-ish call — replacing an unsynced temp file can publish a hole;
+* every ``os.replace`` must be *followed* (same function) by another
+  fsync-ish call — the directory fsync that makes the rename durable;
+* ``Path.write_text`` / ``Path.write_bytes`` are flagged outright —
+  they can never participate in the protocol.
+
+"fsync-ish" means any call whose function name contains ``fsync``
+(covers both ``os.fsync`` and the ``_fsync_directory`` helper).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import Module
+from repro.lint.registry import Checker, register
+
+#: ``open`` modes that truncate or create — i.e. durable-write intent.
+WRITE_MODES = {"w", "wb", "x", "xb", "w+", "wb+", "w+b"}
+
+
+def _call_name(node: ast.Call) -> str:
+    """Trailing name of the called function (``os.replace`` → ``replace``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The write mode of an ``open()`` call, or ``None`` if not one."""
+    if _call_name(node) != "open":
+        return None
+    mode_arg: Optional[ast.expr] = node.args[1] if len(node.args) > 1 else None
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode_arg = kw.value
+    if isinstance(mode_arg, ast.Constant) and isinstance(mode_arg.value, str):
+        if mode_arg.value in WRITE_MODES:
+            return mode_arg.value
+    return None
+
+
+def _is_replace(node: ast.Call) -> bool:
+    """``os.replace``/``Path.replace`` style rename-over calls."""
+    return _call_name(node) == "replace"
+
+
+def _is_fsyncish(node: ast.Call) -> bool:
+    """Any call whose name contains ``fsync`` (helper or the real thing)."""
+    return "fsync" in _call_name(node)
+
+
+def _function_calls(func: ast.FunctionDef) -> List[Tuple[ast.Call, int]]:
+    """Every call in a function body with its line, in source order."""
+    calls = [
+        (node, node.lineno)
+        for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+    ]
+    calls.sort(key=lambda pair: pair[1])
+    return calls
+
+
+@register
+class DurabilityProtocolChecker(Checker):
+    """Enforce tmp+fsync+replace+dir-fsync on storage write paths."""
+
+    id = "durability-protocol"
+    description = (
+        "repro.storage writes must follow the atomic "
+        "tmp+fsync+os.replace+dir-fsync protocol"
+    )
+
+    def check(self, module: Module, modules: List[Module]) -> Iterator[Finding]:
+        """Apply the protocol rules to every function in the module."""
+        if module.package != "storage":
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: Module, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        calls = _function_calls(func)
+        fsync_lines = [line for call, line in calls if _is_fsyncish(call)]
+        replace_lines = [line for call, line in calls if _is_replace(call)]
+
+        for call, line in calls:
+            name = _call_name(call)
+            if name in ("write_text", "write_bytes"):
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=line,
+                    message=(
+                        f"Path.{name} cannot participate in the atomic write "
+                        "protocol — open a temp file, fsync, os.replace, "
+                        "fsync the directory (see save_snapshot)"
+                    ),
+                    symbol=func.name,
+                )
+                continue
+            mode = _open_write_mode(call)
+            if mode is not None:
+                has_fsync_after = any(fl > line for fl in fsync_lines)
+                has_replace_after = any(rl > line for rl in replace_lines)
+                if not (has_fsync_after and has_replace_after):
+                    yield Finding(
+                        checker=self.id,
+                        path=module.relpath,
+                        line=line,
+                        message=(
+                            f"open(..., {mode!r}) is not followed by "
+                            "fsync + os.replace in this function — durable "
+                            "writes must go through the tmp+fsync+replace "
+                            "protocol"
+                        ),
+                        symbol=func.name,
+                    )
+            if _is_replace(call):
+                if not any(fl < line for fl in fsync_lines):
+                    yield Finding(
+                        checker=self.id,
+                        path=module.relpath,
+                        line=line,
+                        message=(
+                            "os.replace without a preceding fsync of the temp "
+                            "file — the rename may publish unsynced data"
+                        ),
+                        symbol=func.name,
+                    )
+                if not any(fl > line for fl in fsync_lines):
+                    yield Finding(
+                        checker=self.id,
+                        path=module.relpath,
+                        line=line,
+                        message=(
+                            "os.replace without a following directory fsync — "
+                            "the rename itself is not durable "
+                            "(call _fsync_directory(target.parent))"
+                        ),
+                        symbol=func.name,
+                    )

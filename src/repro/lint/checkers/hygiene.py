@@ -1,0 +1,217 @@
+"""API-hygiene checker: ``__all__`` honesty, mutable defaults, swallows.
+
+Three classic rot patterns, each observed at least once in this repo's
+history:
+
+* **__all__ drift** — in a module that declares ``__all__``, every
+  listed name must be defined (or imported) at module level, and every
+  public top-level class, function, and ALL-CAPS constant must be
+  listed. Type aliases and lowercase module-level values are not
+  required (they are often internal plumbing), so the rule stays
+  signal-heavy.
+* **mutable default arguments** — ``def f(x=[])`` / ``{}`` / ``set()``:
+  the default is shared across calls.
+* **exception swallowing** — a bare ``except:`` anywhere, and an
+  ``except Exception:`` / ``except BaseException:`` whose body is only
+  ``pass``/``continue`` (it hides the error and keeps going).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import Module
+from repro.lint.registry import Checker, register
+
+#: Call names whose result as a default argument is a shared mutable.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+#: Broad exception classes that, with an empty body, swallow errors.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _declared_all(tree: ast.Module) -> Optional[Tuple[List[str], int]]:
+    """The module's ``__all__`` list and its line, if statically visible."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [
+                        elt.value
+                        for elt in value.elts
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                    ]
+                    return names, node.lineno
+    return None
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Every name bound at module level (defs, classes, imports, assigns)."""
+    names: Set[str] = set()
+
+    def bind(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind(elt)
+        elif isinstance(target, ast.Starred):
+            bind(target.value)
+
+    def walk(body: List[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bind(target)
+            elif isinstance(node, ast.AnnAssign):
+                bind(node.target)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                walk(node.body)
+                walk(getattr(node, "orelse", []))
+                for handler in getattr(node, "handlers", []):
+                    walk(handler.body)
+                walk(getattr(node, "finalbody", []))
+
+    walk(tree.body)
+    return names
+
+
+def _exportable_names(tree: ast.Module) -> Set[str]:
+    """Names that *must* appear in a declared ``__all__``.
+
+    Public top-level classes and functions, plus ALL-CAPS module
+    constants — the deliberate public surface. Imported names and
+    lowercase module values are exempt (re-export hubs list what they
+    choose to re-export; aliases stay optional).
+    """
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and not target.id.startswith("_")
+                    and target.id.isupper()
+                ):
+                    names.add(target.id)
+    return names
+
+
+@register
+class ApiHygieneChecker(Checker):
+    """Flag __all__ drift, mutable defaults, and silent except blocks."""
+
+    id = "api-hygiene"
+    description = (
+        "__all__ matches the defined public surface; no mutable default "
+        "arguments; no bare/silent excepts"
+    )
+
+    def check(self, module: Module, modules: List[Module]) -> Iterator[Finding]:
+        """Apply all three hygiene rules to the module."""
+        yield from self._check_all(module)
+        yield from self._check_defaults(module)
+        yield from self._check_excepts(module)
+
+    def _check_all(self, module: Module) -> Iterator[Finding]:
+        declared = _declared_all(module.tree)
+        if declared is None:
+            return
+        listed, lineno = declared
+        defined = _module_level_names(module.tree)
+        for name in listed:
+            if name not in defined:
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=lineno,
+                    message=f"__all__ exports {name!r} but the module never defines it",
+                )
+        listed_set = set(listed)
+        for name in sorted(_exportable_names(module.tree)):
+            if name not in listed_set:
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=lineno,
+                    message=(
+                        f"public name {name!r} is defined here but missing from "
+                        "__all__ — export it or rename it with a leading underscore"
+                    ),
+                )
+
+    def _check_defaults(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_FACTORIES
+                )
+                if mutable:
+                    yield Finding(
+                        checker=self.id,
+                        path=module.relpath,
+                        line=default.lineno,
+                        message=(
+                            "mutable default argument — the value is shared "
+                            "across calls; default to None and create inside"
+                        ),
+                        symbol=node.name,
+                    )
+
+    def _check_excepts(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        "bare 'except:' catches SystemExit/KeyboardInterrupt "
+                        "too — name the exceptions you mean"
+                    ),
+                )
+                continue
+            broad = (
+                isinstance(node.type, ast.Name) and node.type.id in _BROAD_EXCEPTIONS
+            )
+            body_is_noop = all(
+                isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in node.body
+            )
+            if broad and body_is_noop:
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"'except {node.type.id}: {type(node.body[0]).__name__.lower()}' "
+                        "silently swallows errors — log, narrow, or justify"
+                    ),
+                )

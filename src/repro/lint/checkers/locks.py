@@ -1,0 +1,109 @@
+"""Lock-discipline checker: guarded attributes stay guarded.
+
+Invariant (introduced across the caching/serving PRs 2–5): in any class
+that creates a :mod:`threading` lock, an instance attribute that is
+*written under a lock* in normal methods is part of that lock's
+protected state, and every other access to it must hold a lock too.
+
+The checker infers the guarded set per class — any ``self``-rooted
+attribute assigned inside a ``with self.<lock>:`` block (outside
+``__init__``) — then flags reads or writes of those attributes at lock
+depth zero. Conventions honoured:
+
+* ``__init__`` is exempt (no concurrent callers exist during
+  construction), and writes there do not make an attribute guarded;
+* methods whose name ends in ``_locked`` assert the caller holds the
+  lock (the repo's ``_shutdown_locked`` convention) and are exempt;
+* a subscript store (``self._data[k] = v``) counts as a write to
+  ``self._data``; prefix matches count (``self._counters.hits`` is
+  covered by guarded path ``self._counters.hits`` or ``self._counters``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import Module
+from repro.lint.registry import Checker, register
+from repro.lint.checkers._util import (
+    is_lock_path,
+    is_threading_lock_call,
+    iter_attribute_accesses,
+    iter_functions,
+    store_targets,
+)
+
+Path = Tuple[str, ...]
+
+
+def _paths_overlap(a: Path, b: Path) -> bool:
+    """True when one dotted path is a prefix of the other."""
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    return longer[: len(shorter)] == shorter
+
+
+def _class_creates_lock(node: ast.ClassDef) -> bool:
+    """Whether any method assigns a ``threading`` lock to ``self``."""
+    for func in iter_functions(node):
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Assign) and is_threading_lock_call(stmt.value):
+                return True
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if is_threading_lock_call(stmt.value):
+                    return True
+    return False
+
+
+@register
+class LockDisciplineChecker(Checker):
+    """Flag unguarded access to attributes the class guards elsewhere."""
+
+    id = "lock-discipline"
+    description = (
+        "attributes written under a lock must never be read or written "
+        "outside one in the same class"
+    )
+
+    def check(self, module: Module, modules: List[Module]) -> Iterator[Finding]:
+        """Run the guarded-attribute inference over every class."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _class_creates_lock(node):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: Module, node: ast.ClassDef) -> Iterator[Finding]:
+        guarded: Set[Path] = set()
+        for func in iter_functions(node):
+            if func.name == "__init__":
+                continue
+            for path, _target, depth in store_targets(func):
+                if depth > 0 and path[0] == "self" and not is_lock_path(path):
+                    guarded.add(path)
+        if not guarded:
+            return
+
+        for func in iter_functions(node):
+            if func.name == "__init__" or func.name.endswith("_locked"):
+                continue
+            reported: Set[int] = set()
+            for path, access, depth in iter_attribute_accesses(func):
+                if depth > 0 or path[0] != "self" or is_lock_path(path):
+                    continue
+                hit = next((g for g in guarded if _paths_overlap(g, path)), None)
+                if hit is None:
+                    continue
+                line = getattr(access, "lineno", func.lineno)
+                if line in reported:
+                    continue
+                reported.add(line)
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=line,
+                    message=(
+                        f"'{'.'.join(path)}' is lock-guarded elsewhere in "
+                        f"{node.name} but accessed here without holding a lock"
+                    ),
+                    symbol=f"{node.name}.{func.name}",
+                )

@@ -1,0 +1,123 @@
+"""Finding objects and rendering for the :mod:`repro.lint` framework.
+
+A :class:`Finding` is one concrete invariant violation at a source
+location: the checker that raised it, the file and line, a one-line
+message, and a severity. Findings are plain data — rendering to the
+text and JSON output formats lives here too so every consumer (the CLI,
+the CI gate, the tests) sees byte-identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Severity levels in gate order. ``error`` findings fail the lint gate;
+#: ``warning`` findings are reported but (by themselves) do not.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at a concrete source location."""
+
+    #: Registered checker id (e.g. ``"lock-discipline"``) — or the
+    #: reserved id ``"suppression"`` for violations of the suppression
+    #: policy itself (those can never be suppressed).
+    checker: str
+    #: Path to the offending file, relative to the linted root's parent
+    #: (so ``src/repro/engine/explorer.py`` style, stable across hosts).
+    path: str
+    #: 1-based line of the violation.
+    line: int
+    #: Human-readable, one-line description of what is wrong and why.
+    message: str
+    #: ``"error"`` or ``"warning"`` (see :data:`SEVERITIES`).
+    severity: str = "error"
+    #: Optional dotted context (``Class.method``) for grouping output.
+    symbol: str = ""
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        """Stable ordering: by file, then line, then checker id."""
+        return (self.path, self.line, self.checker, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (schema documented in docs/static-analysis.md)."""
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        """``path:line: [checker] message`` — the text output line."""
+        where = f"{self.path}:{self.line}"
+        ctx = f" ({self.symbol})" if self.symbol else ""
+        return f"{where}: [{self.checker}] {self.message}{ctx}"
+
+
+@dataclass
+class Suppressed:
+    """A finding that an inline justified suppression silenced."""
+
+    finding: Finding
+    justification: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping pairing the finding with its justification."""
+        payload = self.finding.to_dict()
+        payload["justification"] = self.justification
+        return payload
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, ready to render or gate on."""
+
+    #: Live findings (errors and warnings), sorted by location.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by a justified inline suppression.
+    suppressed: List[Suppressed] = field(default_factory=list)
+    #: Number of Python files analysed.
+    files: int = 0
+    #: Ids of the checkers that ran, in execution order.
+    checkers: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        """The subset of findings that fail the gate."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    def exit_code(self) -> int:
+        """0 when the gate passes, 1 when any error-severity finding is live."""
+        return 1 if self.errors else 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON document ``repro lint --format json`` emits."""
+        return {
+            "schema": "repro-lint/1",
+            "files": self.files,
+            "checkers": list(self.checkers),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [s.to_dict() for s in self.suppressed],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.findings) - len(self.errors),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+    def render_text(self) -> str:
+        """Multi-line human-readable report, findings first, summary last."""
+        lines = [f.render() for f in self.findings]
+        n_err = len(self.errors)
+        n_warn = len(self.findings) - n_err
+        lines.append(
+            f"repro lint: {n_err} error(s), {n_warn} warning(s), "
+            f"{len(self.suppressed)} suppressed, {self.files} file(s), "
+            f"{len(self.checkers)} checker(s)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Checker base class and registry for :mod:`repro.lint`.
+
+A checker is a class with a unique ``id``, a one-line ``description``
+of the invariant it encodes, and a :meth:`Checker.check` method that
+yields :class:`~repro.lint.findings.Finding` objects for one parsed
+module. Decorating the class with :func:`register` adds it to the
+global registry the runner and ``repro lint --list`` consult.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.lint.findings import Finding
+from repro.lint.project import Module
+
+#: Reserved id for suppression-policy findings; no checker may claim it.
+RESERVED_IDS = frozenset({"suppression"})
+
+_REGISTRY: Dict[str, Type["Checker"]] = {}
+
+
+class Checker:
+    """Base class every lint checker subclasses.
+
+    Subclasses set :attr:`id` (kebab-case, unique) and
+    :attr:`description`, then implement :meth:`check`. Checkers must be
+    stateless across modules — the runner instantiates each one once
+    per run and feeds it every module in sequence.
+    """
+
+    #: Unique kebab-case identifier, used in output and suppressions.
+    id: str = ""
+    #: One-line summary of the invariant, shown by ``repro lint --list``.
+    description: str = ""
+
+    def check(self, module: Module, modules: List[Module]) -> Iterator[Finding]:
+        """Yield findings for ``module``; ``modules`` is the whole run."""
+        raise NotImplementedError
+
+    def finalize(self, modules: List[Module]) -> Iterator[Finding]:
+        """Hook for whole-run findings after every module was checked."""
+        return iter(())
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding ``cls`` to the global checker registry."""
+    if not cls.id:
+        raise ValueError(f"checker {cls.__name__} has no id")
+    if cls.id in RESERVED_IDS:
+        raise ValueError(f"checker id {cls.id!r} is reserved")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate checker id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, sorted by id."""
+    return [_REGISTRY[cid]() for cid in sorted(_REGISTRY)]
+
+
+def checker_ids() -> List[str]:
+    """Sorted registered checker ids."""
+    return sorted(_REGISTRY)
+
+
+def resolve(select: Iterable[str]) -> List[Checker]:
+    """Instances for the given ids; raises ``KeyError`` on unknown ids."""
+    out = []
+    for cid in select:
+        if cid not in _REGISTRY:
+            raise KeyError(
+                f"unknown checker {cid!r} (known: {', '.join(sorted(_REGISTRY))})"
+            )
+        out.append(_REGISTRY[cid]())
+    return out

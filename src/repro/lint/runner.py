@@ -1,0 +1,100 @@
+"""Lint orchestration: load sources, run checkers, apply suppressions.
+
+:func:`run_lint` is the one entry point both the CLI and the test suite
+use. It parses every requested file once, feeds the parsed modules to
+each selected checker, silences findings covered by justified inline
+suppressions, and folds suppression-policy violations (unjustified or
+stale entries) back in as findings of their own.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import repro.lint.checkers  # noqa: F401 — registers the built-in checkers
+from repro.lint.findings import Finding, LintReport, Suppressed
+from repro.lint.project import Module, load_modules
+from repro.lint.registry import Checker, all_checkers, resolve
+from repro.lint.suppress import SuppressionIndex
+
+
+def default_target() -> Path:
+    """The ``src/repro`` package directory this installation runs from."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _select_checkers(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[Checker]:
+    checkers = resolve(select) if select else all_checkers()
+    if ignore:
+        dropped = set(ignore)
+        checkers = [c for c in checkers if c.id not in dropped]
+    return checkers
+
+
+def run_lint(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    base: Optional[Path] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> LintReport:
+    """Lint ``paths`` (default: the installed ``src/repro``) and report.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to analyse.
+    select / ignore:
+        Checker ids to run / to skip (mutually composable; ``select``
+        narrows first, ``ignore`` then removes).
+    base:
+        Directory display paths are relative to (defaults to cwd).
+    checkers:
+        Pre-built checker instances (overrides ``select``/``ignore``);
+        the hook tests use it to inject configured checkers.
+    """
+    target_paths = [Path(p) for p in (paths or [default_target()])]
+    modules = load_modules(target_paths, base=base)
+    active = list(checkers) if checkers is not None else _select_checkers(select, ignore)
+
+    report = LintReport(files=len(modules), checkers=[c.id for c in active])
+    indexes: Dict[str, SuppressionIndex] = {}
+
+    def index_for(module: Module) -> SuppressionIndex:
+        if module.relpath not in indexes:
+            indexes[module.relpath] = SuppressionIndex(module.source)
+        return indexes[module.relpath]
+
+    raw: List[tuple] = []
+    for checker in active:
+        for module in modules:
+            for finding in checker.check(module, modules):
+                raw.append((finding, index_for(module)))
+        for finding in checker.finalize(modules):
+            raw.append((finding, None))
+
+    for finding, index in raw:
+        hits = index.match(finding) if index is not None else ()
+        if hits:
+            report.suppressed.append(
+                Suppressed(finding=finding, justification=hits[0].justification)
+            )
+        else:
+            report.findings.append(finding)
+
+    # Make sure every linted file's suppression comments are policed,
+    # including files that produced no findings at all. Staleness is
+    # judged against the checkers that ran, so a --select subset does
+    # not condemn suppressions for checkers it skipped.
+    active_ids = {c.id for c in active}
+    for module in modules:
+        index = index_for(module)
+        report.findings.extend(index.policy_findings(module.relpath, active_ids))
+
+    report.findings.sort(key=Finding.sort_key)
+    report.suppressed.sort(key=lambda s: s.finding.sort_key())
+    return report

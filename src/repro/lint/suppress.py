@@ -1,0 +1,139 @@
+"""Inline suppression comments: ``# repro-lint: disable=<id> -- <why>``.
+
+Policy
+------
+A finding may be silenced only by an inline comment on the same line (or
+the line directly above, for statements too long to annotate inline)::
+
+    self._version = pg.version  # repro-lint: disable=<checker-id> -- boot-time read, single-threaded
+
+(with the real checker id in place of ``<checker-id>`` — the angle
+brackets here keep this very docstring from parsing as a suppression).
+
+Rules, enforced here:
+
+* the justification after ``--`` is **mandatory** — an unjustified
+  suppression is itself an ``error`` finding (checker id
+  ``"suppression"``), and that finding can never be suppressed;
+* a suppression that silences nothing is a stale exemption and is
+  reported as an ``error`` too, so the zero-finding baseline also means
+  zero dead suppressions;
+* ``disable=all`` is deliberately not supported — each silenced checker
+  id must be named.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Collection, Dict, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+#: Matches the suppression comment anywhere in a physical line. The
+#: justification group is everything after a `` -- `` separator.
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9_,\- ]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    #: 1-based line the comment sits on.
+    line: int
+    #: Checker ids it names (normalised, no blanks).
+    ids: Tuple[str, ...]
+    #: Text after ``--``; empty string when (illegally) omitted.
+    justification: str
+    #: Set true once a finding is actually silenced by this entry.
+    used: bool = field(default=False)
+
+    def covers(self, checker: str) -> bool:
+        """Whether this entry names ``checker``."""
+        return checker in self.ids
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every suppression comment from a module's source text."""
+    out: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        out.append(
+            Suppression(line=lineno, ids=ids, justification=match.group("why") or "")
+        )
+    return out
+
+
+class SuppressionIndex:
+    """Per-file lookup used by the runner to filter findings.
+
+    A finding at line ``L`` is silenced by a justified suppression on
+    line ``L`` or line ``L - 1`` that names its checker id. Findings
+    with the reserved ``"suppression"`` checker id are never silenced.
+    """
+
+    def __init__(self, source: str) -> None:
+        """Parse ``source`` and index its suppression comments by line."""
+        self.entries: List[Suppression] = parse_suppressions(source)
+        self._by_line: Dict[int, Suppression] = {s.line: s for s in self.entries}
+
+    def match(self, finding: Finding) -> Tuple[Suppression, ...]:
+        """Justified entries that silence ``finding`` (usually 0 or 1)."""
+        if finding.checker == "suppression":
+            return ()
+        hits = []
+        for line in (finding.line, finding.line - 1):
+            entry = self._by_line.get(line)
+            if entry is not None and entry.covers(finding.checker) and entry.justification:
+                entry.used = True
+                hits.append(entry)
+        return tuple(hits)
+
+    def policy_findings(
+        self, path: str, active_ids: Optional[Collection[str]] = None
+    ) -> List[Finding]:
+        """Violations of the suppression policy itself in this file.
+
+        Call after every checker finding has been pushed through
+        :meth:`match`, so unused entries are detectable. ``active_ids``
+        is the set of checker ids that actually ran: an unused entry is
+        only *stale* when at least one of its ids was active — a
+        ``--select`` subset must not condemn suppressions it never gave
+        a chance to fire. Missing justifications are flagged regardless.
+        """
+        out: List[Finding] = []
+        for entry in self.entries:
+            judged = active_ids is None or any(i in active_ids for i in entry.ids)
+            if not entry.justification:
+                out.append(
+                    Finding(
+                        checker="suppression",
+                        path=path,
+                        line=entry.line,
+                        message=(
+                            "suppression without a justification: append "
+                            "' -- <why this exemption is sound>'"
+                        ),
+                    )
+                )
+            elif judged and not entry.used:
+                out.append(
+                    Finding(
+                        checker="suppression",
+                        path=path,
+                        line=entry.line,
+                        message=(
+                            "stale suppression: it silences nothing "
+                            f"(ids: {', '.join(entry.ids)}) — remove it"
+                        ),
+                    )
+                )
+        return out

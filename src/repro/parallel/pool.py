@@ -118,6 +118,7 @@ def _registry_snapshot() -> dict:
     for name, cls in _REGISTRY.items():
         try:
             _pickle.dumps(cls)
+        # repro-lint: disable=api-hygiene -- skipping unpicklable registrations is the documented contract (they still work under fork); any error just means "not shippable"
         except Exception:
             continue
         snapshot[name] = cls
@@ -217,17 +218,21 @@ class WorkerPool:
     # ------------------------------------------------------------------
     @property
     def running(self) -> bool:
-        return self._executor is not None
+        """Whether a worker fleet is currently alive."""
+        with self._lock:
+            return self._executor is not None
 
     @property
     def shipped_version(self) -> int:
         """Graph version the current worker fleet was bootstrapped with."""
-        return self._shipped_version
+        with self._lock:
+            return self._shipped_version
 
     @property
     def restarts(self) -> int:
         """Times the fleet was rebuilt (first start included)."""
-        return self._restarts
+        with self._lock:
+            return self._restarts
 
     def ensure(self) -> int:
         """Start (or restart) the fleet so it serves the current graph.
@@ -350,5 +355,7 @@ class WorkerPool:
         return max(future.result() for future in futures)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = f"v{self._shipped_version}" if self.running else "stopped"
+        with self._lock:
+            running = self._executor is not None
+            state = f"v{self._shipped_version}" if running else "stopped"
         return f"WorkerPool(processes={self.processes}, {state})"

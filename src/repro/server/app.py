@@ -46,7 +46,15 @@ from repro.errors import InvalidInputError, VertexNotFoundError
 from repro.server.coalescer import CoalescerClosedError, QueueFullError
 from repro.version import __version__
 
-__all__ = ["HttpResponse", "handle_request", "GatewayRequestHandler", "ROUTES"]
+__all__ = [
+    "HttpResponse",
+    "handle_request",
+    "GatewayRequestHandler",
+    "ROUTES",
+    "UNKNOWN_ENDPOINT",
+    "endpoint_label",
+    "normalize_path",
+]
 
 _JSON = "application/json"
 #: Prometheus text exposition format.

@@ -133,6 +133,7 @@ class CommunityGateway:
         self._server: Optional[_GatewayHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
         self._started_at: Optional[float] = None
+        # repro-lint: disable=version-tagging -- boot-time observation before serving starts; no concurrent mutator exists yet
         self._version_at_start = self.service.pg.version
         self._closed = threading.Event()
         self._request_counts: Dict[Tuple[str, str, int], int] = {}
@@ -194,6 +195,7 @@ class CommunityGateway:
     def _checkpoint_or_warn(self, drain: bool) -> None:
         """Snapshot-on-drain, or the loud data-loss warning (no storage)."""
         storage = getattr(self.service, "storage", None)
+        # repro-lint: disable=version-tagging -- shutdown path after drain; the version only feeds the operator warning, tags no result
         version = self.service.pg.version
         if storage is not None:
             if drain:

@@ -408,8 +408,8 @@ def decode_payload(data: bytes, has_index: Optional[bool] = None) -> ProfiledGra
             u, v = order[flat[pos]], order[flat[pos + 1]]
             adjacency[u].add(v)
             adjacency[v].add(u)
-    except IndexError:
-        raise SnapshotCorruptError("edge endpoint outside the vertex table")
+    except IndexError as exc:
+        raise SnapshotCorruptError("edge endpoint outside the vertex table") from exc
     if (sum(len(neighbours) for neighbours in adjacency.values())
             != 2 * num_edges):
         raise SnapshotCorruptError("edge array holds duplicate or loop edges")

@@ -1,0 +1,12 @@
+"""Module docstring present; the class and function below lack theirs."""
+
+
+class Undocumented:
+
+    def method(self):
+        value = 1
+        return value
+
+
+def undocumented_function():
+    return 2

@@ -1,0 +1,22 @@
+"""Clean twin: the public surface is fully documented."""
+
+
+class Documented:
+    """A documented class."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def method(self):
+        """A documented method."""
+        return self.value
+
+    def __repr__(self):
+        return f"Documented({self.value!r})"
+
+    def hook(self):
+        pass
+
+
+def _private():
+    return 1

@@ -1,0 +1,22 @@
+"""Seeded api-hygiene violations (fixture — never imported)."""
+
+__all__ = ["exported", "GHOST"]
+
+PUBLIC_CONSTANT = 1
+
+
+def exported(items=[]):
+    """VIOLATION on the signature: mutable default argument."""
+    return items
+
+
+def swallow():
+    """VIOLATIONS: a bare except and a silent except-Exception."""
+    try:
+        exported()
+    except:
+        return None
+    try:
+        exported()
+    except Exception:
+        pass

@@ -1,0 +1,28 @@
+"""Clean twin: honest __all__, safe defaults, handled exceptions."""
+
+import logging
+
+__all__ = ["PUBLIC_CONSTANT", "exported"]
+
+PUBLIC_CONSTANT = 1
+
+#: Lowercase module values and type aliases stay optional in __all__.
+alias = dict
+
+_log = logging.getLogger(__name__)
+
+
+def exported(items=None):
+    """None default, mutable created inside — no finding."""
+    return list(items or ())
+
+
+def _private_helper():
+    """Private names never belong in __all__."""
+    try:
+        exported()
+    except ValueError:
+        return None
+    except Exception:
+        _log.exception("handled, not swallowed")
+        return None

@@ -1,0 +1,26 @@
+"""Seeded lock-discipline violations (fixture — never imported)."""
+
+import threading
+
+
+class Counter:
+    """Guards ``_count`` in ``bump`` but reads it unguarded in ``peek``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._data = {}
+
+    def bump(self):
+        """Guarded write: makes ``_count`` and ``_data`` guarded attrs."""
+        with self._lock:
+            self._count += 1
+            self._data["total"] = self._count
+
+    def peek(self):
+        """VIOLATION: unguarded read of a guarded attribute."""
+        return self._count
+
+    def reset(self):
+        """VIOLATION: unguarded subscript write to a guarded dict."""
+        self._data["total"] = 0

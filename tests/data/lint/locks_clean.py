@@ -1,0 +1,39 @@
+"""Clean twin of locks_bad.py: every access honours the discipline."""
+
+import threading
+
+
+class Counter:
+    """All ``_count`` access goes through the lock (or sanctioned forms)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._data = {}
+
+    def bump(self):
+        """Guarded write."""
+        with self._lock:
+            self._count += 1
+            self._data["total"] = self._count
+
+    def peek(self):
+        """Guarded read — no finding."""
+        with self._lock:
+            return self._count
+
+    def _drain_locked(self):
+        """The ``_locked`` suffix asserts the caller holds the lock."""
+        self._data.clear()
+        return self._count
+
+
+class Unlocked:
+    """No lock is ever created, so nothing here is guarded."""
+
+    def __init__(self):
+        self._count = 0
+
+    def bump(self):
+        """Unguarded state in a lockless class is fine."""
+        self._count += 1

@@ -1,0 +1,32 @@
+"""Suppression-policy fixture: one of each suppression behaviour.
+
+Seeded with api-hygiene violations so there is something to suppress;
+linted with ``--select api-hygiene`` by the tests.
+"""
+
+
+def justified(items=[]):  # repro-lint: disable=api-hygiene -- fixture exercising a justified suppression
+    """Silenced: justified suppression on the same line."""
+    return items
+
+
+# repro-lint: disable=api-hygiene -- fixture exercising a preceding-line suppression
+def justified_above(items=[]):
+    """Silenced: justified suppression on the line above."""
+    return items
+
+
+def unjustified(items=[]):  # repro-lint: disable=api-hygiene
+    """NOT silenced (no justification) and flagged as a policy violation."""
+    return items
+
+
+def wrong_id(items=[]):  # repro-lint: disable=layer-dag -- names a checker that finds nothing here
+    """NOT silenced (wrong id); not judged stale when layer-dag is unselected."""
+    return items
+
+
+# repro-lint: disable=api-hygiene -- nothing below violates api-hygiene
+def stale_entry():
+    """Clean function: the entry above silences nothing and is flagged stale."""
+    return None

@@ -1,0 +1,13 @@
+"""Seeded version-tagging violation (fixture — never imported)."""
+
+
+class Engine:
+    """Tags a result with a version read outside any pin."""
+
+    def __init__(self, pg):
+        self.pg = pg
+
+    def answer(self):
+        """VIOLATION: unpinned version read tags the result."""
+        result = {"communities": []}
+        return result, self.pg.version

@@ -1,0 +1,33 @@
+"""Clean twin: every version read uses a sanctioned pinning shape."""
+
+import threading
+
+
+class Engine:
+    """All four sanctioned shapes, none of which may be flagged."""
+
+    def __init__(self, pg, cache):
+        self.pg = pg
+        self._cache = cache
+        self._lock = threading.Lock()
+
+    def _run_stable(self, key):
+        """Sanctioned: _run_stable itself re-validates its reads."""
+        version = self.pg.version
+        return key, version
+
+    def under_lock(self):
+        """Sanctioned: the lock pins the graph for the read."""
+        with self._lock:
+            return self.pg.version
+
+    def cache_lookup(self, key):
+        """Sanctioned: flows into the epoch-checked versioned cache."""
+        direct = self._cache.get_versioned(key, self.pg.version, None)
+        version = self.pg.version
+        via_local = self._cache.get_versioned(key, version, None)
+        return direct, via_local
+
+    def monitoring(self):
+        """Sanctioned: dict-literal value — a point-in-time observation."""
+        return {"version": self.pg.version}

@@ -1,0 +1,3 @@
+"""Seeded layer-DAG violation: graph (rank 1) imports server (rank 8)."""
+
+from repro.server import gateway  # noqa: F401  (fixture; never imported)

@@ -1,0 +1,19 @@
+"""Clean twin: server (rank 8) importing graph (rank 1) flows downward.
+
+Also exercises the two sanctioned upward idioms — a ``TYPE_CHECKING``
+import and a function-local import — which must not be flagged.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.graph import adjacency  # noqa: F401  (fixture; never imported)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cli import main  # noqa: F401
+
+
+def lazy_use():
+    """Function-local upward import: deliberate cycle-breaker, exempt."""
+    from repro.cli import main  # noqa: F401
+
+    return main

@@ -1,0 +1,20 @@
+"""Seeded durability-protocol violations (fixture — never imported)."""
+
+import os
+from pathlib import Path
+
+
+def naked_write(path):
+    """VIOLATION: write-mode open with no fsync/replace downstream."""
+    with open(path, "w") as fh:
+        fh.write("hello")
+
+
+def replace_without_fsync(tmp, target):
+    """VIOLATION (x2): replace with no fsync before or after."""
+    os.replace(tmp, target)
+
+
+def helper_write(path):
+    """VIOLATION: Path.write_text can never follow the protocol."""
+    Path(path).write_text("hello")

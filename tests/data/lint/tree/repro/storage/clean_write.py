@@ -1,0 +1,29 @@
+"""Clean twin: the full tmp+fsync+replace+dir-fsync protocol."""
+
+import os
+
+
+def _fsync_directory(path):
+    """Directory fsync so the rename itself is durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(target, payload):
+    """The sanctioned shape (mirrors repro.storage.snapshot.save_snapshot)."""
+    tmp = str(target) + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+    _fsync_directory(os.path.dirname(target) or ".")
+
+
+def read_only(path):
+    """Read-mode opens are outside the protocol's scope."""
+    with open(path, "rb") as fh:
+        return fh.read()

@@ -210,7 +210,7 @@ class TestBatchSemantics:
 
     def test_batch_validation_before_any_execution(self, fig1):
         with make_parallel(fig1, default_k=2) as ex:
-            with pytest.raises(Exception):
+            with pytest.raises(InvalidInputError):
                 ex.explore_many([("D", 2), ("missing-vertex", 2)])
             assert ex.stats().queries_served == 0
 
