@@ -22,7 +22,7 @@ few percent over the bare engine (checked by the facade-overhead benchmark).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Hashable, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Union
 
 from repro.api.planner import BatchPlan, PlanDecision, QueryPlanner
 from repro.api.query import Query, QueryBuilder
@@ -134,9 +134,12 @@ class CommunityService:
         :meth:`apply_updates` batch is fsync'd to the write-ahead log
         *before* it touches the graph, so a crash loses nothing that was
         acknowledged. Call :meth:`snapshot` to checkpoint and truncate
-        the log. Requires ``pg`` to be a :class:`ProfiledGraph` (an
-        adopted explorer already owns its graph object, which boot may
-        need to replace).
+        the log. Requires ``pg`` to be a :class:`ProfiledGraph` or a
+        zero-arg factory for one — a factory defers (or skips) seed
+        construction when the directory already boots warm, which is how
+        a replication replica avoids ever loading the dataset. An
+        adopted explorer is refused (it already owns its graph object,
+        which boot may need to replace).
     parallel:
         Worker *process* count for batch execution and index builds. With
         ``parallel >= 2`` (and ``pg`` a graph) the session serves through a
@@ -162,7 +165,7 @@ class CommunityService:
 
     def __init__(
         self,
-        pg: Union[ProfiledGraph, CommunityExplorer],
+        pg: Union[ProfiledGraph, CommunityExplorer, Callable[[], ProfiledGraph]],
         planner: Optional[QueryPlanner] = None,
         middleware: Optional[Sequence[Middleware]] = None,
         max_limit: Optional[int] = None,
@@ -180,10 +183,11 @@ class CommunityService:
         self._store: Optional[GraphStore] = None
         self._boot_report: Optional[BootReport] = None
         if storage_dir is not None:
-            if not isinstance(pg, ProfiledGraph):
+            if not isinstance(pg, ProfiledGraph) and not callable(pg):
                 raise InvalidInputError(
-                    "storage_dir= needs a ProfiledGraph cold seed, not an "
-                    "adopted explorer (boot may replace the graph object)"
+                    "storage_dir= needs a ProfiledGraph cold seed (or a "
+                    "zero-arg factory for one), not an adopted explorer "
+                    "(boot may replace the graph object)"
                 )
             self._store = GraphStore(storage_dir)
             pg, self._boot_report = self._store.boot(fallback=pg)

@@ -317,20 +317,44 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: run the HTTP gateway until interrupted."""
+def _serve_router(args: argparse.Namespace) -> int:
+    """The ``--role router`` arm of ``repro serve``: no graph, pure proxy."""
+    from repro.replication import ReplicationRouter
+
+    if not args.writer_url or not args.replica:
+        print("serve --role router needs --writer-url and at least one --replica",
+              file=sys.stderr)
+        return 2
+    router = ReplicationRouter(
+        args.writer_url,
+        args.replica,
+        host=args.host,
+        port=args.port,
+        min_version_deadline=args.min_version_deadline,
+    )
+    with router:
+        host, port = router.address
+        print(f"routing at http://{host}:{port} "
+              f"(writer: {args.writer_url}, replicas: {len(args.replica)}, "
+              f"min-version deadline: {args.min_version_deadline:.1f}s)",
+              flush=True)
+        print("endpoints: POST /query /batch /update · GET /healthz /stats",
+              flush=True)
+        try:
+            router.wait()
+        except KeyboardInterrupt:
+            print("\nshutting down router...", flush=True)
+    counters = router.stats()["server"]["counters"]
+    print(f"proxied {counters['reads_proxied']} read(s), "
+          f"{counters['writes_proxied']} write(s)", flush=True)
+    return 0
+
+
+def _build_role_gateway(args: argparse.Namespace):
+    """The serving gateway for ``repro serve`` (standalone/writer/replica)."""
     from repro.server import CommunityGateway
 
-    pg = _load(args)
-    service = CommunityService(
-        pg,
-        parallel=args.parallel,
-        max_workers=args.workers,
-        max_limit=args.limit,
-        storage_dir=args.data_dir,
-    )
-    gateway = CommunityGateway(
-        service,
+    gateway_opts = dict(
         host=args.host,
         port=args.port,
         coalesce=not args.no_coalesce,
@@ -340,11 +364,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
         warm=not args.no_warm,
         log_requests=args.log_requests,
     )
+    if args.role == "replica":
+        from repro.replication import ReplicaGateway
+
+        if not args.writer_url or not args.data_dir:
+            raise SystemExit(
+                "serve --role replica needs --writer-url and --data-dir"
+            )
+        return ReplicaGateway(
+            args.writer_url,
+            args.data_dir,
+            service_opts=dict(max_workers=args.workers, max_limit=args.limit),
+            **gateway_opts,
+        )
+    service = CommunityService(
+        _load(args),
+        parallel=args.parallel,
+        max_workers=args.workers,
+        max_limit=args.limit,
+        storage_dir=args.data_dir,
+    )
+    if args.role == "writer":
+        from repro.replication import WriterGateway
+
+        if not args.data_dir:
+            raise SystemExit("serve --role writer needs --data-dir (the WAL "
+                             "is the replication stream source)")
+        return WriterGateway(
+            service, heartbeat_interval=args.heartbeat_interval, **gateway_opts
+        )
+    return CommunityGateway(service, **gateway_opts)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the HTTP gateway (any role) until interrupted."""
+    if args.role == "router":
+        return _serve_router(args)
+    gateway = _build_role_gateway(args)
+    service = gateway.service
     with gateway:
         host, port = gateway.address
         mode = "off" if args.no_coalesce else f"{args.coalesce_window * 1000:.1f} ms window"
-        print(f"serving {args.dataset} at http://{host}:{port} "
-              f"(coalescing: {mode}, workers: {args.parallel or 1})", flush=True)
+        what = (f"replica of {args.writer_url}" if args.role == "replica"
+                else args.dataset)
+        print(f"serving {what} at http://{host}:{port} "
+              f"(role: {gateway.role}, coalescing: {mode}, "
+              f"workers: {args.parallel or 1})", flush=True)
         print("endpoints: POST /query /batch /update · GET /healthz /stats /metrics",
               flush=True)
         report = service.boot_report
@@ -361,6 +426,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
     stats = service.stats()
     print(f"served {stats.queries_served} queries "
           f"(cache hit rate {stats.cache_hit_rate:.0%})", flush=True)
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster``: a whole replication fleet as local subprocesses."""
+    import time
+
+    from repro.replication import LocalCluster
+
+    cluster = LocalCluster(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        replicas=args.replicas,
+        data_root=args.data_root,
+        coalesce_window=args.coalesce_window,
+        heartbeat_interval=args.heartbeat_interval,
+        min_version_deadline=args.min_version_deadline,
+    )
+    with cluster:
+        print(f"cluster up: router at {cluster.router_url}", flush=True)
+        print(f"  writer:   {cluster.writer_url}", flush=True)
+        for index, url in enumerate(cluster.replica_urls):
+            print(f"  replica-{index}: {url}", flush=True)
+        print("point clients at the router; Ctrl-C stops the fleet", flush=True)
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nstopping cluster...", flush=True)
     return 0
 
 
@@ -412,6 +507,7 @@ _IMPORT_ORDER_PAIRS = (
     ("repro.core.search", "repro.api.service"),
     ("repro.server", "repro.api"),
     ("repro.storage", "repro.api"),
+    ("repro.replication", "repro.server"),
 )
 
 
@@ -583,7 +679,52 @@ def build_parser() -> argparse.ArgumentParser:
                          "log): boot replays it, updates are fsync'd to it, "
                          "drain checkpoints it; without it, applied updates "
                          "are lost on shutdown (a warning says so)")
+    sv.add_argument("--role", default="standalone",
+                    choices=("standalone", "writer", "replica", "router"),
+                    help="serving role (repro.replication): 'writer' accepts "
+                         "updates and streams its WAL (needs --data-dir), "
+                         "'replica' follows a writer and serves reads only "
+                         "(needs --writer-url and --data-dir), 'router' is "
+                         "the asyncio front-end over a fleet (needs "
+                         "--writer-url and --replica)")
+    sv.add_argument("--writer-url", dest="writer_url", default=None,
+                    metavar="URL", help="the writer gateway's base URL "
+                                        "(replica and router roles)")
+    sv.add_argument("--replica", action="append", default=[], metavar="URL",
+                    help="a replica gateway's base URL (router role; repeat "
+                         "once per replica)")
+    sv.add_argument("--heartbeat-interval", dest="heartbeat_interval",
+                    type=float, default=1.0, metavar="SECONDS",
+                    help="writer role: idle-stream heartbeat cadence "
+                         "(default 1s)")
+    sv.add_argument("--min-version-deadline", dest="min_version_deadline",
+                    type=float, default=2.0, metavar="SECONDS",
+                    help="router role: longest a read with X-Repro-Min-Version "
+                         "waits for a caught-up replica before 503 "
+                         "(default 2s)")
     sv.set_defaults(func=cmd_serve)
+
+    cl = sub.add_parser(
+        "cluster",
+        help="run writer + replicas + router as local subprocesses "
+             "(repro.replication)",
+    )
+    add_dataset_args(cl)
+    cl.add_argument("--replicas", type=int, default=2,
+                    help="read-replica count (default 2)")
+    cl.add_argument("--data-root", dest="data_root", default=None, metavar="DIR",
+                    help="parent directory for every member's store "
+                         "(default: a temp dir, removed on exit)")
+    cl.add_argument("--coalesce-window", type=float, default=0.0,
+                    dest="coalesce_window", metavar="SECONDS",
+                    help="coalescing window on writer/replicas (default 0 = off)")
+    cl.add_argument("--heartbeat-interval", dest="heartbeat_interval",
+                    type=float, default=0.2, metavar="SECONDS",
+                    help="writer idle-stream heartbeat cadence (default 0.2s)")
+    cl.add_argument("--min-version-deadline", dest="min_version_deadline",
+                    type=float, default=5.0, metavar="SECONDS",
+                    help="router read-your-writes wait bound (default 5s)")
+    cl.set_defaults(func=cmd_cluster)
 
     sp = sub.add_parser(
         "snapshot", help="write, inspect, verify or compact on-disk snapshots"

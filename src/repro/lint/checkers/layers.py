@@ -16,8 +16,9 @@ rank  packages (a package may eagerly import only lower ranks)
 6     ``storage``
 7     ``api``, ``parallel``
 8     ``bench``, ``server``
-9     ``cli``
-10    ``repro`` (the root ``__init__``/``__main__``)
+9     ``replication``
+10    ``cli``
+11    ``repro`` (the root ``__init__``/``__main__``)
 ====  =====================================================
 
 Only *eager* imports count: module-level ``import``/``from`` statements,
@@ -64,8 +65,9 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "parallel": 7,
     "bench": 8,
     "server": 8,
-    "cli": 9,
-    "repro": 10,
+    "replication": 9,
+    "cli": 10,
+    "repro": 11,
 }
 
 

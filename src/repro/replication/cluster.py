@@ -1,0 +1,418 @@
+"""Dev-mode cluster launcher: writer + N replicas + router as subprocesses.
+
+:class:`LocalCluster` wires a whole replication deployment out of real
+OS processes — each role runs ``repro serve --role ...`` through the
+installed interpreter, binds an ephemeral port, and announces it on
+stdout (every role's banner contains ``at http://host:port``). The
+cluster object parses the banners, threads the URLs together (replicas
+get ``--writer-url``, the router gets everything), and exposes the
+router as the single client-facing endpoint::
+
+    with LocalCluster(dataset="fig1", replicas=2) as cluster:
+        client = cluster.client()        # ServerClient → the router
+        client.update([...])             # lands on the writer
+        client.query("D")                # fans out over the replicas
+
+Failure injection for the integration tests rides on the same surface:
+:meth:`kill_replica` / :meth:`kill_writer` deliver ``SIGKILL`` (the
+``kill -9`` story), :meth:`restart_replica` / :meth:`restart_writer`
+relaunch on the same data directory and port-annouce dance. ``repro
+cluster`` wraps this class for the command line.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.server.client import ServerClient
+
+__all__ = ["ClusterError", "ClusterProcess", "LocalCluster"]
+
+_URL_RE = re.compile(r"at (http://[^\s/]+:\d+)")
+
+
+class ClusterError(ReproError):
+    """A cluster member failed to launch, announce itself, or converge."""
+
+
+class ClusterProcess:
+    """One supervised cluster member: a subprocess plus its output tail.
+
+    A daemon reader thread drains stdout continuously (so the child never
+    blocks on a full pipe), keeps every line for post-mortems, and fires
+    an event when the ``at http://...`` banner appears.
+    """
+
+    def __init__(self, name: str, argv: List[str], env: Dict[str, str]) -> None:
+        self.name = name
+        self.argv = list(argv)
+        self.proc = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.url: Optional[str] = None
+        self._lines: List[str] = []
+        self._lines_lock = threading.Lock()
+        self._announced = threading.Event()
+        self._reader = threading.Thread(
+            target=self._drain, name=f"cluster-{name}-reader", daemon=True
+        )
+        self._reader.start()
+
+    def _drain(self) -> None:
+        stream = self.proc.stdout
+        if stream is None:  # pragma: no cover - Popen always pipes here
+            return
+        for line in stream:
+            with self._lines_lock:
+                self._lines.append(line.rstrip("\n"))
+            if not self._announced.is_set():
+                match = _URL_RE.search(line)
+                if match:
+                    self.url = match.group(1)
+                    self._announced.set()
+        stream.close()
+        self._announced.set()  # EOF: unblock waiters even without a banner
+
+    def wait_url(self, timeout: float) -> str:
+        """Block until the member announces its URL; raises on exit/timeout."""
+        if not self._announced.wait(timeout=timeout):
+            raise ClusterError(
+                f"{self.name} did not announce a URL within {timeout:.0f}s:\n"
+                + self.output()
+            )
+        if self.url is None:
+            raise ClusterError(
+                f"{self.name} exited (code {self.proc.poll()}) before "
+                f"announcing a URL:\n" + self.output()
+            )
+        return self.url
+
+    def output(self) -> str:
+        """Everything the member has printed so far (stdout + stderr)."""
+        with self._lines_lock:
+            return "\n".join(self._lines)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the subprocess is still running."""
+        return self.proc.poll() is None
+
+    def kill(self) -> None:
+        """``SIGKILL`` — the unclean death the failure tests need."""
+        if self.alive:
+            self.proc.kill()
+        self.proc.wait(timeout=10.0)
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """``SIGINT`` then escalate: give the member a graceful drain."""
+        if self.alive:
+            self.proc.send_signal(signal.SIGINT)
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+        self.proc.wait(timeout=10.0)
+        self._reader.join(timeout=5.0)
+
+
+class LocalCluster:
+    """One writer + N replicas + one router, each a real subprocess.
+
+    Parameters
+    ----------
+    dataset, scale, seed:
+        Cold seed served by the writer (the replicas never load it —
+        they bootstrap from the writer's shipped snapshot).
+    replicas:
+        Read-replica count (>= 1).
+    data_root:
+        Parent directory for every member's store; a temporary directory
+        (cleaned up by :meth:`stop`) when omitted.
+    coalesce_window:
+        Writer/replica coalescing window in seconds (0 disables
+        coalescing — the right call for latency-sensitive tests).
+    heartbeat_interval, min_version_deadline:
+        Forwarded to the writer / router (see their classes).
+    startup_timeout:
+        Per-member budget for the URL announcement and readiness.
+    """
+
+    def __init__(
+        self,
+        dataset: str = "fig1",
+        scale: float = 1.0,
+        seed: int = 0,
+        replicas: int = 2,
+        data_root=None,
+        host: str = "127.0.0.1",
+        coalesce_window: float = 0.0,
+        heartbeat_interval: float = 0.2,
+        min_version_deadline: float = 5.0,
+        startup_timeout: float = 60.0,
+    ) -> None:
+        if replicas < 1:
+            raise ClusterError(f"a cluster needs >= 1 replica, got {replicas}")
+        self.dataset = dataset
+        self.scale = scale
+        self.seed = seed
+        self.num_replicas = replicas
+        self.host = host
+        self.coalesce_window = coalesce_window
+        self.heartbeat_interval = heartbeat_interval
+        self.min_version_deadline = min_version_deadline
+        self.startup_timeout = startup_timeout
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if data_root is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            self.data_root = Path(self._tmp.name)
+        else:
+            self.data_root = Path(data_root)
+            self.data_root.mkdir(parents=True, exist_ok=True)
+        self.writer: Optional[ClusterProcess] = None
+        self.router: Optional[ClusterProcess] = None
+        self.replicas: List[Optional[ClusterProcess]] = [None] * replicas
+        self._env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = self._env.get("PYTHONPATH")
+        self._env["PYTHONPATH"] = (
+            src_root if not existing else os.pathsep.join([src_root, existing])
+        )
+
+    # ------------------------------------------------------------------
+    # member command lines
+    # ------------------------------------------------------------------
+    def _serve_argv(self, role: str, extra: List[str]) -> List[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--role",
+            role,
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--dataset",
+            self.dataset,
+            "--scale",
+            str(self.scale),
+            "--seed",
+            str(self.seed),
+        ]
+        if self.coalesce_window > 0:
+            argv += ["--coalesce-window", str(self.coalesce_window)]
+        else:
+            argv += ["--no-coalesce"]
+        return argv + extra
+
+    def _spawn(self, name: str, argv: List[str]) -> ClusterProcess:
+        member = ClusterProcess(name, argv, env=self._env)
+        member.wait_url(self.startup_timeout)
+        return member
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "LocalCluster":
+        """Launch writer → replicas → router, waiting on each banner."""
+        self.writer = self._spawn(
+            "writer",
+            self._serve_argv(
+                "writer",
+                [
+                    "--data-dir",
+                    str(self.data_root / "writer"),
+                    "--heartbeat-interval",
+                    str(self.heartbeat_interval),
+                    "--no-warm",
+                ],
+            ),
+        )
+        for index in range(self.num_replicas):
+            self.replicas[index] = self._spawn_replica(index)
+        replica_args = []
+        for member in self.replicas:
+            assert member is not None and member.url is not None
+            replica_args += ["--replica", member.url]
+        self.router = self._spawn(
+            "router",
+            self._serve_argv(
+                "router",
+                [
+                    "--writer-url",
+                    self.writer_url,
+                    "--min-version-deadline",
+                    str(self.min_version_deadline),
+                    *replica_args,
+                ],
+            ),
+        )
+        self.wait_ready()
+        return self
+
+    def _spawn_replica(
+        self, index: int, port: Optional[str] = None
+    ) -> ClusterProcess:
+        argv = self._serve_argv(
+            "replica",
+            [
+                "--writer-url",
+                self.writer_url,
+                "--data-dir",
+                str(self.data_root / f"replica-{index}"),
+                "--no-warm",
+            ],
+        )
+        if port is not None:
+            argv[argv.index("--port") + 1] = port
+        return self._spawn(f"replica-{index}", argv)
+
+    def wait_ready(self, timeout: Optional[float] = None) -> None:
+        """Poll the router until the writer and every replica are caught up."""
+        budget = self.startup_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        last: dict = {}
+        with self.client(retries=5) as probe:
+            while time.monotonic() < deadline:
+                last = probe.healthz()
+                writer = last.get("writer", {})
+                replicas = last.get("replicas", [])
+                caught_up = [
+                    member
+                    for member in replicas
+                    if member.get("healthy")
+                    and member.get("version") is not None
+                    and member["version"] >= (writer.get("version") or 0)
+                ]
+                if writer.get("healthy") and len(caught_up) == len(replicas):
+                    return
+                time.sleep(0.05)
+        raise ClusterError(f"cluster did not converge: {last}")
+
+    def stop(self) -> None:
+        """Graceful shutdown (router first, writer last); cleans temp dirs."""
+        for member in [self.router, *self.replicas[::-1], self.writer]:
+            if member is not None:
+                member.terminate()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # addressing / clients
+    # ------------------------------------------------------------------
+    @property
+    def writer_url(self) -> str:
+        """The writer's announced base URL."""
+        if self.writer is None or self.writer.url is None:
+            raise ClusterError("writer not started")
+        return self.writer.url
+
+    @property
+    def router_url(self) -> str:
+        """The router's announced base URL — the client-facing endpoint."""
+        if self.router is None or self.router.url is None:
+            raise ClusterError("router not started")
+        return self.router.url
+
+    @property
+    def replica_urls(self) -> List[str]:
+        """Every live replica's announced base URL."""
+        return [m.url for m in self.replicas if m is not None and m.url is not None]
+
+    def client(self, retries: int = 0, timeout: float = 30.0) -> ServerClient:
+        """A :class:`~repro.server.client.ServerClient` aimed at the router."""
+        host, port = self.router_url.removeprefix("http://").rsplit(":", 1)
+        return ServerClient(host, int(port), timeout=timeout, retries=retries)
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def kill_replica(self, index: int) -> None:
+        """``kill -9`` one replica (its data directory stays put)."""
+        member = self.replicas[index]
+        if member is None:
+            raise ClusterError(f"replica {index} is not running")
+        member.kill()
+
+    def restart_replica(self, index: int) -> None:
+        """Relaunch a killed replica on its existing data directory.
+
+        Rebinds the dead replica's port (the router is wired against
+        that address; ``SO_REUSEADDR`` makes the rebind immediate), so
+        from the router's view the replica simply comes back.
+        """
+        member = self.replicas[index]
+        if member is not None and member.alive:
+            raise ClusterError(f"replica {index} is still running")
+        port = None
+        if member is not None and member.url is not None:
+            port = member.url.rsplit(":", 1)[1]
+        self.replicas[index] = self._spawn_replica(index, port=port)
+
+    def kill_writer(self) -> None:
+        """``kill -9`` the writer (replicas keep serving stale reads)."""
+        if self.writer is None:
+            raise ClusterError("writer not started")
+        self.writer.kill()
+
+    def restart_writer(self) -> None:
+        """Relaunch the writer on its data directory (WAL replay boots it).
+
+        Rebinds the **same** port the dead writer held (replicas and the
+        router were wired against that address), which works because the
+        gateway listens with ``SO_REUSEADDR``.
+        """
+        if self.writer is not None and self.writer.alive:
+            raise ClusterError("writer is still running")
+        port = self.writer_url.rsplit(":", 1)[1]
+        argv = self._serve_argv(
+            "writer",
+            [
+                "--data-dir",
+                str(self.data_root / "writer"),
+                "--heartbeat-interval",
+                str(self.heartbeat_interval),
+                "--no-warm",
+            ],
+        )
+        argv[argv.index("--port") + 1] = port
+        self.writer = self._spawn("writer", argv)
+
+    def output(self, name: str) -> str:
+        """A member's captured stdout so far (``writer``/``router``/``replica-N``)."""
+        members: Dict[str, Optional[ClusterProcess]] = {
+            "writer": self.writer,
+            "router": self.router,
+        }
+        for index, member in enumerate(self.replicas):
+            members[f"replica-{index}"] = member
+        chosen = members.get(name)
+        if chosen is None:
+            raise ClusterError(f"no cluster member named {name!r}")
+        return chosen.output()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bound = self.router.url if self.router is not None else "unstarted"
+        return f"LocalCluster(router={bound}, replicas={self.num_replicas})"

@@ -38,11 +38,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.api.query import Query
 from repro.engine.updates import GraphUpdate
-from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.errors import InvalidInputError, ReproError, VertexNotFoundError
 from repro.server.coalescer import CoalescerClosedError, QueueFullError
 from repro.version import __version__
 
@@ -52,6 +52,8 @@ __all__ = [
     "GatewayRequestHandler",
     "ROUTES",
     "UNKNOWN_ENDPOINT",
+    "VERSION_HEADER",
+    "WriteRedirectError",
     "endpoint_label",
     "normalize_path",
 ]
@@ -63,12 +65,22 @@ _METRICS_TEXT = "text/plain; version=0.0.4; charset=utf-8"
 
 @dataclass(frozen=True)
 class HttpResponse:
-    """One materialised HTTP answer (status, body, extra headers)."""
+    """One materialised HTTP answer (status, body, extra headers).
+
+    A response with ``stream`` set is sent with chunked transfer encoding
+    instead of ``body``: the factory is invoked once, inside the handler
+    thread, and each yielded ``bytes`` chunk is flushed to the client as
+    it is produced — the shape of the replication WAL stream, where the
+    response outlives the request by design.
+    """
 
     status: int
     body: bytes
     content_type: str = _JSON
     headers: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+    #: Zero-arg factory of a ``bytes`` iterator; mutually exclusive with
+    #: a non-empty ``body``.
+    stream: Optional[Callable[[], Iterable[bytes]]] = None
 
 
 def _json_response(status: int, payload: dict, headers: Tuple = ()) -> HttpResponse:
@@ -119,10 +131,20 @@ def _items_payload(payload, key: str) -> list:
 # ----------------------------------------------------------------------
 # endpoint handlers: (gateway, body) -> HttpResponse
 # ----------------------------------------------------------------------
+#: Response header carrying the graph version an answer reflects — lets
+#: proxies (the replication router) track replica freshness from headers
+#: alone, without parsing JSON bodies.
+VERSION_HEADER = "X-Repro-Graph-Version"
+
+
 def _handle_query(gateway, body: bytes) -> HttpResponse:
     query = Query.from_dict(_parse_json(body))
     response = gateway.dispatch_query(query)
-    return _json_response(200, response.to_dict())
+    return _json_response(
+        200,
+        response.to_dict(),
+        headers=((VERSION_HEADER, str(response.graph_version)),),
+    )
 
 
 def _handle_batch(gateway, body: bytes) -> HttpResponse:
@@ -137,15 +159,20 @@ def _handle_batch(gateway, body: bytes) -> HttpResponse:
             "batch_plan": plan.to_dict(),
             "results": [r.to_dict() for r in responses],
         },
+        headers=(
+            (VERSION_HEADER, str(min(r.graph_version for r in responses))),
+        ),
     )
 
 
 def _handle_update(gateway, body: bytes) -> HttpResponse:
     items = _items_payload(_parse_json(body), "updates")
     updates = [GraphUpdate.coerce(item) for item in items]
-    receipt = gateway.service.apply_updates(updates)
+    receipt = gateway.apply_updates(updates)
     return _json_response(
-        200, {"receipt": receipt.to_dict(), "graph_version": receipt.version}
+        200,
+        {"receipt": receipt.to_dict(), "graph_version": receipt.version},
+        headers=((VERSION_HEADER, str(receipt.version)),),
     )
 
 
@@ -165,7 +192,9 @@ def _handle_metrics(gateway, body: bytes) -> HttpResponse:
     )
 
 
-#: ``(method, path) -> handler``; the single routing table.
+#: ``(method, path) -> handler``; the routing table every gateway starts
+#: from. Role gateways (see :mod:`repro.replication`) extend it via
+#: ``CommunityGateway.extra_routes``.
 ROUTES: Dict[Tuple[str, str], Callable] = {
     ("POST", "/query"): _handle_query,
     ("POST", "/batch"): _handle_batch,
@@ -182,15 +211,35 @@ _KNOWN_PATHS = {path for _, path in ROUTES}
 UNKNOWN_ENDPOINT = "(unknown)"
 
 
+class WriteRedirectError(ReproError):
+    """A write reached a read-only gateway; the writer lives elsewhere.
+
+    Mapped to ``307 Temporary Redirect`` with a ``Location`` header, so a
+    well-behaved HTTP client can replay the POST against the writer (307
+    preserves the method and body, unlike 302).
+    """
+
+    def __init__(self, location: str) -> None:
+        super().__init__(
+            f"this gateway serves reads only; send writes to {location}"
+        )
+        self.location = location
+
+
 def normalize_path(path: str) -> str:
     """Canonical routing form: query string stripped, trailing ``/`` folded."""
     return path.split("?", 1)[0].rstrip("/") or "/"
 
 
-def endpoint_label(path: str) -> str:
-    """The bounded counter label for a request path."""
+def endpoint_label(path: str, known_paths: Optional[frozenset] = None) -> str:
+    """The bounded counter label for a request path.
+
+    ``known_paths`` widens the recognised set for gateways with extra
+    routes; bare calls label against the base table only.
+    """
     normalized = normalize_path(path)
-    return normalized if normalized in _KNOWN_PATHS else UNKNOWN_ENDPOINT
+    known = _KNOWN_PATHS if known_paths is None else known_paths
+    return normalized if normalized in known else UNKNOWN_ENDPOINT
 
 
 def handle_request(gateway, method: str, path: str, body: bytes) -> HttpResponse:
@@ -202,10 +251,12 @@ def handle_request(gateway, method: str, path: str, body: bytes) -> HttpResponse
             "payload_too_large",
             f"request body exceeds {gateway.max_body_bytes} bytes",
         )
-    handler = ROUTES.get((method, path))
+    routes = gateway.routes()
+    handler = routes.get((method, path))
     if handler is None:
-        if path in _KNOWN_PATHS:
-            allowed = sorted(m for m, p in ROUTES if p == path)
+        known = {p for _, p in routes}
+        if path in known:
+            allowed = sorted(m for m, p in routes if p == path)
             return _error(
                 405,
                 "method_not_allowed",
@@ -215,6 +266,13 @@ def handle_request(gateway, method: str, path: str, body: bytes) -> HttpResponse
         return _error(404, "not_found", f"unknown endpoint {path!r}")
     try:
         return handler(gateway, body)
+    except WriteRedirectError as exc:
+        return _error(
+            307,
+            "not_writer",
+            str(exc),
+            headers=(("Location", exc.location),),
+        )
     except QueueFullError as exc:
         return _error(
             429,
@@ -272,16 +330,47 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             body = self.rfile.read(length) if length > 0 else b""
             response = handle_request(gateway, method, self.path, body)
         try:
-            self.send_response(response.status)
-            self.send_header("Content-Type", response.content_type)
-            self.send_header("Content-Length", str(len(response.body)))
-            for key, value in response.headers:
-                self.send_header(key, value)
-            self.end_headers()
-            self.wfile.write(response.body)
+            if response.stream is not None:
+                self._send_stream(response)
+            else:
+                self.send_response(response.status)
+                self.send_header("Content-Type", response.content_type)
+                self.send_header("Content-Length", str(len(response.body)))
+                for key, value in response.headers:
+                    self.send_header(key, value)
+                self.end_headers()
+                self.wfile.write(response.body)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass  # client went away mid-response; nothing to salvage
-        gateway.record_request(method, endpoint_label(self.path), response.status)
+        gateway.record_request(
+            method, endpoint_label(self.path, gateway.known_paths()), response.status
+        )
+
+    def _send_stream(self, response: HttpResponse) -> None:
+        """Send a chunked-transfer response, flushing each chunk as it comes.
+
+        The chunk producer runs in this handler thread for as long as it
+        yields (a replication stream runs until the subscriber drops or the
+        writer drains); the connection closes when it ends, so subscribers
+        treat EOF as "re-subscribe".
+        """
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        for key, value in response.headers:
+            self.send_header(key, value)
+        self.end_headers()
+        self.close_connection = True
+        for chunk in response.stream():
+            if not chunk:
+                continue
+            self.wfile.write(f"{len(chunk):x}\r\n".encode("ascii"))
+            self.wfile.write(chunk)
+            self.wfile.write(b"\r\n")
+            self.wfile.flush()
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Route a GET through :func:`handle_request`."""

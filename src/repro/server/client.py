@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 from typing import Iterable, List, Optional, Union
 
 from repro.api.query import Query, QueryBuilder
@@ -34,7 +36,12 @@ UpdateLike = Union[GraphUpdate, tuple, dict]
 
 
 class ServerError(ReproError):
-    """A non-2xx gateway answer, with the decoded error envelope attached."""
+    """A non-2xx gateway answer, with the decoded error envelope attached.
+
+    Redirects (a write sent to a read-only replica answers ``307``) also
+    land here, with the target in :attr:`location` — the client never
+    follows them silently, because replaying a POST is the caller's call.
+    """
 
     def __init__(
         self,
@@ -42,24 +49,56 @@ class ServerError(ReproError):
         error_type: str,
         message: str,
         retry_after: Optional[float] = None,
+        location: Optional[str] = None,
     ) -> None:
         super().__init__(f"HTTP {status} [{error_type}]: {message}")
         self.status = status
         self.error_type = error_type
         self.retry_after = retry_after
+        self.location = location
 
 
 class ServerClient:
     """Client for one gateway at ``host:port`` (see module docstring).
 
     Usable as a context manager; :meth:`close` drops the connection.
+
+    ``retries`` bounds *extra* attempts after transient failures — a
+    reset/refused connection or an HTTP 503 (a replica draining, a
+    coalescer mid-restart). Each retry backs off exponentially from
+    ``backoff`` (capped at ``max_backoff``) with full jitter, honouring a
+    503's ``Retry-After`` hint when it is shorter. ``retries=0`` (the
+    default) keeps the historical behaviour: one free immediate reconnect
+    on a stale kept-alive connection, and every HTTP error surfaced
+    as-is. The router and cluster tooling run with retries enabled so one
+    replica restart never surfaces as a client error.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
         self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _retry_delay(self, attempt: int, hint: Optional[float] = None) -> float:
+        """Backoff for retry number ``attempt`` (1-based), with full jitter."""
+        ceiling = min(self.max_backoff, self.backoff * (2 ** (attempt - 1)))
+        if hint is not None:
+            ceiling = min(ceiling, hint)
+        return random.uniform(0.0, ceiling) if ceiling > 0 else 0.0
 
     # ------------------------------------------------------------------
     # transport
@@ -78,35 +117,52 @@ class ServerClient:
             )
         return self._conn
 
-    def _request(self, method: str, path: str, payload=None):
+    def _request(self, method: str, path: str, payload=None, extra_headers=None):
         """One round trip; returns ``(status, headers, decoded body)``.
 
-        Retries once on a stale kept-alive connection (the server may have
-        closed it between requests); protocol-level errors raise
-        :class:`ServerError`.
+        Always retries once, immediately, on a stale kept-alive connection
+        (the server may have closed it between requests). With
+        ``retries=N``, connection failures and 503 answers get up to N
+        further attempts behind exponential backoff with jitter;
+        everything else raises :class:`ServerError` straight away.
         """
         body = None
-        headers = {}
+        headers = dict(extra_headers or {})
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
-            conn = self._connection()
+        conn_failures = 0
+        status_retries = 0
+        while True:
+            conn = None
             try:
+                conn = self._connection()
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
-                break
             except (http.client.HTTPException, ConnectionError, BrokenPipeError):
                 self.close()
-                if attempt:
+                conn_failures += 1
+                if conn_failures == 1:
+                    continue  # free reconnect: the kept-alive socket went stale
+                if conn_failures > self.retries + 1:
                     raise
+                time.sleep(self._retry_delay(conn_failures - 1))
+                continue
+            if response.status == 503 and status_retries < self.retries:
+                status_retries += 1
+                hint = response.getheader("Retry-After")
+                time.sleep(self._retry_delay(
+                    status_retries, hint=None if hint is None else float(hint)
+                ))
+                continue
+            break
         content_type = response.getheader("Content-Type", "")
         if content_type.startswith("application/json"):
             decoded = json.loads(raw.decode("utf-8"))
         else:
             decoded = raw.decode("utf-8")
-        if response.status >= 400:
+        if response.status >= 300:
             error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
             retry_after = response.getheader("Retry-After")
             raise ServerError(
@@ -114,6 +170,7 @@ class ServerClient:
                 error.get("type", "unknown"),
                 error.get("message", str(decoded)),
                 retry_after=None if retry_after is None else float(retry_after),
+                location=response.getheader("Location"),
             )
         return response.status, response, decoded
 
@@ -132,21 +189,34 @@ class ServerClient:
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
-    def query(self, query: QueryLike, **overrides) -> QueryResponse:
+    def query(
+        self,
+        query: QueryLike,
+        min_version: Optional[int] = None,
+        **overrides,
+    ) -> QueryResponse:
         """``POST /query`` — one request, one envelope.
 
         Accepts a :class:`~repro.api.query.Query`, a builder, or a payload
         mapping; keyword overrides patch the query like
         :meth:`CommunityService.query <repro.api.service.CommunityService.query>`.
+        ``min_version`` sets the read-your-writes floor (the
+        ``X-Repro-Min-Version`` header) — meaningful when the far end is a
+        replication router, ignored by plain gateways.
         """
         coerced = Query.coerce(query)
         if overrides:
             coerced = coerced.replace(**overrides)
-        return QueryResponse.from_dict(self.query_raw(coerced.to_dict()))
+        return QueryResponse.from_dict(
+            self.query_raw(coerced.to_dict(), min_version=min_version)
+        )
 
-    def query_raw(self, payload: dict) -> dict:
+    def query_raw(self, payload: dict, min_version: Optional[int] = None) -> dict:
         """``POST /query`` with a raw payload; the raw envelope back."""
-        _, _, decoded = self._request("POST", "/query", payload)
+        headers = None
+        if min_version is not None:
+            headers = {"X-Repro-Min-Version": str(min_version)}
+        _, _, decoded = self._request("POST", "/query", payload, extra_headers=headers)
         return decoded
 
     def batch(self, queries: Iterable[QueryLike]) -> List[QueryResponse]:

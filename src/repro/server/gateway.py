@@ -27,6 +27,7 @@ for the command line; tests and benchmarks drive it directly.
 
 from __future__ import annotations
 
+import socket
 import sys
 import threading
 import time
@@ -37,8 +38,9 @@ from repro.api.query import Query
 from repro.api.response import QueryResponse
 from repro.api.service import CommunityService
 from repro.core.profiled_graph import ProfiledGraph
+from repro.engine.updates import UpdateReceipt
 from repro.server import metrics as metrics_mod
-from repro.server.app import GatewayRequestHandler
+from repro.server.app import ROUTES, GatewayRequestHandler
 from repro.server.coalescer import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_QUEUE,
@@ -73,7 +75,36 @@ class _GatewayHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address, handler_cls, gateway: "CommunityGateway") -> None:
         self.gateway = gateway
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
         super().__init__(address, handler_cls)
+
+    def process_request(self, request, client_address) -> None:
+        with self._connections_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def server_close(self) -> None:
+        # Handler threads serving keep-alive connections block in read()
+        # until the *peer* sends another request or hangs up — a peer
+        # pooling connections (the replication router, any keep-alive
+        # client) would stall the handler join below forever. Half-close
+        # the read side of every open connection: idle handlers wake to
+        # EOF and exit, while one still writing its response can finish
+        # (writes are unaffected by SHUT_RD), keeping the drain honest.
+        with self._connections_lock:
+            connections = list(self._connections)
+        for request in connections:
+            try:
+                request.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass  # already gone mid-iteration; the join won't wait on it
+        super().server_close()
 
 
 class CommunityGateway:
@@ -102,6 +133,11 @@ class CommunityGateway:
 
     The gateway is a context manager; ``__exit__`` drains and closes.
     """
+
+    #: Serving role advertised by ``/healthz`` — the replication
+    #: subclasses override this ("writer" / "replica"); a plain gateway
+    #: is a "standalone" that both reads and writes.
+    role = "standalone"
 
     def __init__(
         self,
@@ -245,6 +281,29 @@ class CommunityGateway:
             return self.coalescer.submit(query)
         return self.service.query(query)
 
+    def apply_updates(self, updates) -> UpdateReceipt:
+        """Apply a write batch (the ``POST /update`` hook).
+
+        Subclass seam for the replication roles: a replica overrides this
+        to refuse with a redirect, a writer to wake its stream
+        subscribers after the durable apply.
+        """
+        return self.service.apply_updates(updates)
+
+    def extra_routes(self) -> Dict:
+        """Additional ``(method, path) -> handler`` routes (roles override)."""
+        return {}
+
+    def routes(self) -> Dict:
+        """The full routing table: the base table plus any role extras."""
+        merged = dict(ROUTES)
+        merged.update(self.extra_routes())
+        return merged
+
+    def known_paths(self) -> frozenset:
+        """Every routed path — bounds the endpoint-counter label set."""
+        return frozenset(path for _, path in self.routes())
+
     def record_request(self, method: str, endpoint: str, status: int) -> None:
         """Bump the per-endpoint counter behind ``/stats`` and ``/metrics``."""
         key = (method, endpoint, status)
@@ -264,15 +323,22 @@ class CommunityGateway:
     def health(self) -> dict:
         """The ``/healthz`` payload: liveness plus the serving vitals."""
         pg = self.service.pg
-        return {
+        payload = {
             "status": "draining" if self._closed.is_set() else "ok",
             "version": __version__,
+            "role": self.role,
             "graph_version": pg.version,
             "uptime_seconds": self.uptime_seconds,
             "coalescing": self.coalescer is not None,
             "queue_depth": 0 if self.coalescer is None else self.coalescer.depth,
             "durable": getattr(self.service, "storage", None) is not None,
         }
+        payload.update(self._health_extra())
+        return payload
+
+    def _health_extra(self) -> dict:
+        """Role-specific ``/healthz`` fields (replication lag, peers, ...)."""
+        return {}
 
     def stats(self) -> dict:
         """The ``/stats`` payload: engine + graph + coalescer + HTTP counters."""
@@ -284,8 +350,17 @@ class CommunityGateway:
             ]
         return {
             "server": {
+                "role": self.role,
                 "uptime_seconds": self.uptime_seconds,
                 "coalescing": self.coalescer is not None,
+                # Live load signal (not just counters): the router's
+                # least-loaded replica picking reads exactly these fields.
+                "queue_depth": 0 if self.coalescer is None else self.coalescer.depth,
+                "coalescer_config": None if self.coalescer is None else {
+                    "window_seconds": self.coalescer.window,
+                    "max_batch": self.coalescer.max_batch,
+                    "max_queue": self.coalescer.max_queue,
+                },
                 "parallel_workers": self.service.parallel_workers,
                 "requests": requests,
             },

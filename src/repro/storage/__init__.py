@@ -36,12 +36,15 @@ from repro.storage.snapshot import (
     decode_payload,
     encode_payload,
     load_snapshot,
+    load_snapshot_bytes,
     save_snapshot,
+    snapshot_bytes,
     verify_digest,
 )
 from repro.storage.store import BootReport, GraphStore, StorageError
 from repro.storage.wal import (
     WalCorruptError,
+    WalCursor,
     WalError,
     WalRecord,
     WalReplayError,
@@ -59,9 +62,12 @@ __all__ = [
     "encode_payload",
     "decode_payload",
     "save_snapshot",
+    "snapshot_bytes",
     "load_snapshot",
+    "load_snapshot_bytes",
     "verify_digest",
     "WalRecord",
+    "WalCursor",
     "WriteAheadLog",
     "WalError",
     "WalCorruptError",

@@ -559,22 +559,45 @@ def save_snapshot(
     in a same-directory temp file, are fsync'd, and are renamed over
     ``path``, so a crash mid-save leaves the previous snapshot intact.
     """
-    index = pg.index() if (include_index and pg.has_index()) else None
-    payload = encode_payload(pg, index=index)
-    flags = FLAG_HAS_INDEX if index is not None else 0
-    header = _pack_header(flags, payload)
+    raw = snapshot_bytes(pg, include_index=include_index)
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     tmp = target.with_name(target.name + ".tmp")
     with open(tmp, "wb") as fh:
-        fh.write(header)
-        fh.write(payload)
+        fh.write(raw)
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, target)
     _fsync_directory(target.parent)
-    digest = hashlib.sha256(payload).digest()
+    _, flags, digest, payload = _split_file(raw, target)
     return _info(FORMAT_VERSION, flags, digest, payload)
+
+
+def snapshot_bytes(pg: ProfiledGraph, include_index: bool = True) -> bytes:
+    """The complete snapshot file image (header + payload) as bytes.
+
+    Exactly what :func:`save_snapshot` writes, without touching disk —
+    the replication writer ships this over HTTP so a replica's on-disk
+    boot file and the wire form are the same bytes by construction.
+    """
+    index = pg.index() if (include_index and pg.has_index()) else None
+    payload = encode_payload(pg, index=index)
+    flags = FLAG_HAS_INDEX if index is not None else 0
+    return _pack_header(flags, payload) + payload
+
+
+def load_snapshot_bytes(raw: bytes, verify: bool = True) -> ProfiledGraph:
+    """Decode a full snapshot image (header + payload) from memory.
+
+    The in-memory mirror of :func:`load_snapshot`, sharing its structural
+    checks: magic, format version, declared length and (with ``verify``)
+    the SHA-256 digest. Used by replicas bootstrapping from a shipped
+    snapshot before any bytes reach their own disk.
+    """
+    _, flags, digest, payload = _split_file(raw, "<memory>")
+    if verify and hashlib.sha256(payload).digest() != digest:
+        raise SnapshotCorruptError("snapshot bytes do not match their digest")
+    return decode_payload(payload, has_index=bool(flags & FLAG_HAS_INDEX))
 
 
 def load_snapshot(path: PathLike, verify: bool = True) -> ProfiledGraph:

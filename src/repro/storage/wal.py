@@ -33,6 +33,8 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
+import time
 import zlib
 from pathlib import Path
 from typing import FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple, Union
@@ -219,6 +221,12 @@ class WriteAheadLog:
         self._num_records = 0
         self._last_version: Optional[int] = None
         self._dropped_bytes = 0
+        #: Notified on every append and truncate so tail-followers
+        #: (:meth:`cursor` / :meth:`wait_for_change`) wake without polling.
+        self._change = threading.Condition()
+        #: Bumped on :meth:`truncate`; a cursor built against an older
+        #: generation must restart from the beginning of the new log.
+        self._generation = 0
         valid_end = self._scan()
         size = self._path.stat().st_size if self._path.exists() else 0
         if valid_end < size:
@@ -274,6 +282,27 @@ class WriteAheadLog:
         """Torn-tail bytes discarded when the log was opened (usually 0)."""
         return self._dropped_bytes
 
+    @property
+    def generation(self) -> int:
+        """Truncation epoch: bumped each time :meth:`truncate` wipes the log.
+
+        A :class:`WalCursor` snapshots this; a mismatch later means the
+        records it was following no longer exist (they were folded into a
+        snapshot) and the follower must re-seek or resync.
+        """
+        with self._change:
+            return self._generation
+
+    @property
+    def first_base(self) -> Optional[int]:
+        """``base`` of the oldest record (None when the log is empty).
+
+        The replication floor: a subscriber whose version is below this
+        cannot be caught up from the log alone and needs a fresh snapshot.
+        """
+        records = self.records()
+        return records[0].base if records else None
+
     # -- writing -------------------------------------------------------
     def append(
         self, base: int, version: int, updates: Sequence[GraphUpdate]
@@ -302,6 +331,8 @@ class WriteAheadLog:
         os.fsync(self._fh.fileno())
         self._num_records += 1
         self._last_version = version
+        with self._change:
+            self._change.notify_all()
         return record
 
     def truncate(self) -> None:
@@ -313,6 +344,9 @@ class WriteAheadLog:
         os.fsync(self._fh.fileno())
         self._num_records = 0
         self._last_version = None
+        with self._change:
+            self._generation += 1
+            self._change.notify_all()
 
     def close(self) -> None:
         """Close the file handle; the log object is unusable afterwards."""
@@ -372,5 +406,131 @@ class WriteAheadLog:
             applied += 1
         return applied
 
+    # -- tail following (replication stream source) --------------------
+    def read_frames_from(self, offset: int) -> Tuple[List[WalRecord], int]:
+        """Complete records starting at byte ``offset``; new offset after them.
+
+        The incremental flavour of :meth:`records`: a follower remembers
+        the returned offset and re-calls as the log grows, so streaming N
+        records costs O(N) total, not O(N²). ``offset`` must sit on a
+        frame boundary previously returned by this method (0 to start).
+        """
+        self._fh.flush()
+        raw = self._path.read_bytes() if self._path.exists() else b""
+        if offset > len(raw):
+            raise WalError(
+                f"{self._path}: follower offset {offset} is past the log "
+                f"end {len(raw)} (log was truncated; re-seek from 0)"
+            )
+        out: List[WalRecord] = []
+        pos = offset
+        while pos + _FRAME.size <= len(raw):
+            length, crc = _FRAME.unpack_from(raw, pos)
+            start = pos + _FRAME.size
+            end = start + length
+            if end > len(raw) or zlib.crc32(raw[start:end]) != crc:
+                break
+            out.append(WalRecord.from_payload(json.loads(raw[start:end].decode("utf-8"))))
+            pos = end
+        return out, pos
+
+    def wait_for_change(self, generation: int, offset: int, timeout: float) -> bool:
+        """Block until the log grows past ``offset`` or leaves ``generation``.
+
+        Returns ``True`` when there is something new to look at (more
+        bytes, or a truncation reset the log) and ``False`` on timeout —
+        the tail-follower's heartbeat tick.
+        """
+        deadline = time.monotonic() + timeout
+        with self._change:
+            while True:
+                if self._generation != generation:
+                    return True
+                size = self._path.stat().st_size if self._path.exists() else 0
+                if size > offset:
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._change.wait(timeout=remaining)
+
+    def cursor(self, after_version: int) -> "WalCursor":
+        """A :class:`WalCursor` positioned just past ``after_version``."""
+        return WalCursor(self, after_version)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WriteAheadLog({self._path}, records={self._num_records})"
+
+
+class WalCursor:
+    """A resumable read position in a :class:`WriteAheadLog`.
+
+    The replication writer holds one cursor per subscribed replica:
+    :meth:`pending` drains every complete record with ``version`` greater
+    than the subscriber's, and :meth:`wait` blocks (with a timeout, so
+    heartbeats can interleave) until the log moves. A log truncation while
+    following (the writer checkpointed) flips :attr:`lost_history` if the
+    records the cursor still needed are gone — the subscriber must then
+    resync from a fresh snapshot.
+
+    Not thread-safe; each follower thread owns its cursor.
+    """
+
+    def __init__(self, wal: WriteAheadLog, after_version: int) -> None:
+        self._wal = wal
+        self._after = after_version
+        self._generation = wal.generation
+        self._offset = 0
+        self.lost_history = False
+
+    @property
+    def after_version(self) -> int:
+        """Every record up to and including this version has been drained."""
+        return self._after
+
+    def _reseek(self) -> None:
+        """Handle a truncation: restart from 0, flagging lost history.
+
+        After a checkpoint the log only holds records *after* the
+        snapshot; if the subscriber was already past the truncation point
+        (its version >= every surviving record's base floor, i.e. the
+        log restarts at or after ``after_version``) nothing is lost.
+        """
+        self._generation = self._wal.generation
+        self._offset = 0
+        first = self._wal.first_base
+        if first is not None and first > self._after:
+            self.lost_history = True
+        # An empty truncated log loses nothing: new records will append
+        # with base >= the checkpoint version >= any caught-up follower.
+
+    def pending(self) -> List[WalRecord]:
+        """Drain records newer than the cursor position (oldest first)."""
+        if self._generation != self._wal.generation:
+            self._reseek()
+        if self.lost_history:
+            return []
+        try:
+            records, self._offset = self._wal.read_frames_from(self._offset)
+        except WalError:
+            self._reseek()
+            if self.lost_history:
+                return []
+            records, self._offset = self._wal.read_frames_from(self._offset)
+        fresh = [r for r in records if r.version > self._after]
+        for record in fresh:
+            if record.base > self._after:
+                # Gap: the log truncated between reads and restarted past
+                # this cursor (its generation can already match ours after
+                # _reseek raced the truncate); records were lost.
+                self.lost_history = True
+                return fresh[: fresh.index(record)]
+            self._after = record.version
+        return fresh
+
+    def wait(self, timeout: float) -> bool:
+        """Block until the log may have news for this cursor (or timeout)."""
+        return self._wal.wait_for_change(self._generation, self._offset, timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WalCursor(after={self._after}, offset={self._offset})"

@@ -1,0 +1,138 @@
+"""Failure-injection gauntlet for the replication tier (subprocesses).
+
+The CI ``replication`` job runs this module alongside
+``tests/test_replication.py``. Each test boots a real
+:class:`~repro.replication.cluster.LocalCluster` — one writer, two
+replicas and a router, four separate processes — then injects the
+failures the tier is designed to absorb:
+
+* ``kill -9`` a replica mid-stream: the router keeps answering, and the
+  restarted replica resumes from its own WAL position (no resync);
+* ``kill -9`` the writer: reads stay up (stale but versioned), writes
+  answer 503 with ``Retry-After``, and a restarted writer recovers by
+  WAL replay and accepts writes again.
+
+Ground truth throughout is a shadow in-process
+:class:`~repro.api.CommunityService` that applied the same updates —
+the same construction ``tests/test_durability.py`` uses.
+"""
+
+import pytest
+
+from repro.api import CommunityService, Query
+from repro.datasets import fig1_profiled_graph
+from repro.replication import LocalCluster
+from repro.server import ServerClient, ServerError
+
+#: Effective single-batch updates against fig1 (labels are taxonomy
+#: names), split so tests can write before *and* after a failure.
+FIRST_WAVE = [
+    {"op": "add_vertex", "u": "Z1", "labels": ["ML", "DMS"]},
+    {"op": "add_edge", "u": "Z1", "v": "A"},
+    {"op": "add_edge", "u": "Z1", "v": "B"},
+    {"op": "add_vertex", "u": "Z2", "labels": ["AI"]},
+]
+SECOND_WAVE = [
+    {"op": "add_edge", "u": "Z2", "v": "Z1"},
+    {"op": "set_profile", "u": "Z2", "labels": ["IS", "HW"]},
+    {"op": "remove_edge", "u": "A", "v": "B"},
+    {"op": "add_edge", "u": "Z2", "v": "C"},
+]
+
+#: Queries whose answers must match the shadow service byte for byte.
+PROBES = [Query(vertex="D", k=2), Query(vertex="Z1", k=1), Query(vertex="A", k=1)]
+
+
+def _shadow(updates):
+    """``(version, answers)`` from an in-process service — ground truth."""
+    with CommunityService(fig1_profiled_graph()) as shadow:
+        if updates:
+            shadow.apply_updates(updates)
+        return shadow.pg.version, [_signature(shadow.query(p)) for p in PROBES]
+
+
+def _signature(response):
+    """Order-stable answer signature for one query response."""
+    return (
+        response.matched,
+        sorted(
+            (tuple(sorted(c.vertices, key=repr)), c.theme)
+            for c in response.communities
+        ),
+    )
+
+
+def _routed_answers(client, min_version):
+    """Probe answers through the router, pinned at ``min_version``."""
+    return [_signature(client.query(p, min_version=min_version)) for p in PROBES]
+
+
+def _member_client(url: str) -> ServerClient:
+    host, port = url.removeprefix("http://").rsplit(":", 1)
+    return ServerClient(host, int(port))
+
+
+@pytest.mark.replication
+class TestLocalCluster:
+    def test_routed_answers_match_shadow_service(self):
+        expected_version, expected = _shadow(FIRST_WAVE + SECOND_WAVE)
+        with LocalCluster(replicas=2) as cluster:
+            with cluster.client(retries=3) as client:
+                receipt = client.update(FIRST_WAVE + SECOND_WAVE)
+                assert receipt["graph_version"] == expected_version
+                # min_version pins read-your-writes: whichever backend
+                # answers must already reflect the whole batch.
+                assert _routed_answers(client, expected_version) == expected
+                health = client.healthz()
+            assert health["role"] == "router"
+            assert health["last_write_version"] == expected_version
+
+    def test_replica_killed_mid_stream_resumes_from_wal(self):
+        expected_version, expected = _shadow(FIRST_WAVE + SECOND_WAVE)
+        with LocalCluster(replicas=2) as cluster:
+            with cluster.client(retries=3) as client:
+                client.update(FIRST_WAVE)
+                cluster.wait_ready()  # both replicas hold the first wave
+                cluster.kill_replica(0)
+                # The router absorbs the loss inside a single request:
+                # the dead backend fails over to the surviving replica.
+                first_version, _ = _shadow(FIRST_WAVE)
+                assert (
+                    _routed_answers(client, first_version)
+                    == _shadow(FIRST_WAVE)[1]
+                )
+                client.update(SECOND_WAVE)
+                cluster.restart_replica(0)
+                cluster.wait_ready()
+                assert _routed_answers(client, expected_version) == expected
+            # The restarted replica rebooted from its own snapshot + WAL
+            # and resubscribed from that position — no snapshot refetch.
+            with _member_client(cluster.replica_urls[0]) as replica:
+                vitals = replica.healthz()["replication"]
+            assert vitals["resyncs"] == 0
+            assert vitals["lag_versions"] == 0
+
+    def test_writer_killed_reads_stay_up_and_recovery_accepts_writes(self):
+        first_version, first_answers = _shadow(FIRST_WAVE)
+        with LocalCluster(replicas=2) as cluster:
+            with cluster.client(retries=3) as client:
+                client.update(FIRST_WAVE)
+                cluster.wait_ready()
+                cluster.kill_writer()
+                # Stale-but-versioned reads: every replica already holds
+                # version N, so pinned reads still succeed and answers
+                # are exactly the pre-kill state.
+                assert _routed_answers(client, first_version) == first_answers
+            with cluster.client(retries=0) as impatient:
+                with pytest.raises(ServerError) as err:
+                    impatient.update(SECOND_WAVE)
+                assert err.value.status == 503
+                assert err.value.error_type == "writer_unavailable"
+                assert err.value.retry_after is not None
+            cluster.restart_writer()  # WAL replay restores version N
+            cluster.wait_ready()
+            expected_version, expected = _shadow(FIRST_WAVE + SECOND_WAVE)
+            with cluster.client(retries=3) as client:
+                receipt = client.update(SECOND_WAVE)
+                assert receipt["graph_version"] == expected_version
+                assert _routed_answers(client, expected_version) == expected

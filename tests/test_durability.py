@@ -105,7 +105,14 @@ def _kill_dash_nine(proc):
 
 def _shutdown_clean(proc):
     proc.send_signal(signal.SIGINT)
-    out, err = proc.communicate(timeout=30)
+    # Read through the text wrappers, not communicate(): the banner
+    # readline in _start_server may have pulled later startup lines
+    # (endpoints, boot provenance) into the wrapper's buffer, and
+    # communicate() reads the raw descriptors only — it would silently
+    # drop exactly the lines the boot-provenance assertions need.
+    out = proc.stdout.read()
+    err = proc.stderr.read()
+    proc.wait(timeout=30)
     assert proc.returncode == 0, err
     return out, err
 

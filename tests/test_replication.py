@@ -1,0 +1,345 @@
+"""Tests for the replication tier (`repro.replication`), in-process.
+
+Layered like the package: the frame codec with no transport at all,
+:class:`~repro.storage.wal.WalCursor` semantics against a real log
+file, then a live tier — :class:`WriterGateway`, :class:`ReplicaGateway`
+and :class:`ReplicationRouter` over real sockets in one process —
+exercising the consistency contract: routed reads equal direct service
+answers, read-your-writes via ``X-Repro-Min-Version``, the bounded
+``min_version`` deadline (503), the 307 write redirect off replicas,
+and a checkpoint-forced resync. Subprocess failure injection (kill -9)
+lives in ``tests/test_cluster.py``.
+"""
+
+import io
+import struct
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api import CommunityService, Query
+from repro.datasets import fig1_profiled_graph
+from repro.errors import InvalidInputError
+from repro.replication import (
+    FrameError,
+    FrameReader,
+    HEARTBEAT,
+    HELLO,
+    RECORD,
+    ReplicaGateway,
+    ReplicationRouter,
+    WriterGateway,
+    decode_frame,
+    encode_frame,
+    record_frame,
+    record_from_frame,
+)
+from repro.server import ServerClient, ServerError
+from repro.storage import WalRecord, WriteAheadLog
+
+#: Label-free updates are valid against any dataset's taxonomy.
+UPDATES = [
+    {"op": "add_vertex", "u": "R1"},
+    {"op": "add_edge", "u": "R1", "v": "A"},
+    {"op": "add_edge", "u": "R1", "v": "B"},
+]
+
+PROBE = Query(vertex="A", k=2)
+
+
+def _wait_until(predicate, timeout=15.0, interval=0.02, what="condition"):
+    """Poll ``predicate`` until truthy; fail loudly on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _url(gateway) -> str:
+    host, port = gateway.address
+    return f"http://{host}:{port}"
+
+
+def envelope(response):
+    payload = response.to_dict()
+    payload.pop("elapsed_ms", None)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# frame codec (no transport)
+# ----------------------------------------------------------------------
+class TestFrameCodec:
+    def test_round_trip(self):
+        payload = {"type": HELLO, "version": 7, "nested": {"a": [1, 2]}}
+        assert decode_frame(encode_frame(payload)) == payload
+
+    def test_crc_mismatch_raises(self):
+        raw = bytearray(encode_frame({"type": HEARTBEAT, "version": 1}))
+        raw[-1] ^= 0xFF  # flip a payload byte; the CRC no longer matches
+        with pytest.raises(FrameError):
+            decode_frame(bytes(raw))
+
+    def test_truncated_frame_raises(self):
+        raw = encode_frame({"type": HEARTBEAT, "version": 1})
+        with pytest.raises(FrameError):
+            decode_frame(raw[: len(raw) - 2])
+
+    def test_record_frame_round_trip(self):
+        record = WalRecord(3, 5, UPDATES[:2])
+        frame = decode_frame(record_frame(record))
+        assert frame["type"] == RECORD
+        rebuilt = record_from_frame(frame)
+        assert rebuilt.base == 3
+        assert rebuilt.version == 5
+        assert [u.to_dict() for u in rebuilt.updates] == [
+            u.to_dict() for u in record.updates
+        ]
+
+    def test_reader_yields_frames_then_none_at_clean_eof(self):
+        frames = [{"type": HELLO, "version": 1}, {"type": HEARTBEAT, "version": 2}]
+        stream = io.BytesIO(b"".join(encode_frame(f) for f in frames))
+        reader = FrameReader(stream)
+        assert list(reader.frames()) == frames
+        assert reader.frame() is None
+
+    def test_reader_raises_on_mid_frame_eof(self):
+        raw = encode_frame({"type": HELLO, "version": 1})
+        reader = FrameReader(io.BytesIO(raw[: len(raw) - 3]))
+        with pytest.raises(FrameError):
+            reader.frame()
+
+    def test_reader_rejects_absurd_length_header(self):
+        # A length prefix far past the frame cap must fail fast, not
+        # attempt a gigabyte read.
+        bogus = struct.pack("<II", 1 << 30, 0)
+        with pytest.raises(FrameError):
+            FrameReader(io.BytesIO(bogus + b"x" * 16)).frame()
+
+
+# ----------------------------------------------------------------------
+# WAL cursor (real log file, no sockets)
+# ----------------------------------------------------------------------
+class TestWalCursor:
+    def _log_with(self, tmp_path, n):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        for version in range(1, n + 1):
+            wal.append(version - 1, version, [{"op": "add_vertex", "u": f"V{version}"}])
+        return wal
+
+    def test_pending_drains_only_newer_records(self, tmp_path):
+        wal = self._log_with(tmp_path, 3)
+        assert [r.version for r in wal.cursor(0).pending()] == [1, 2, 3]
+        assert [r.version for r in wal.cursor(2).pending()] == [3]
+        cursor = wal.cursor(0)
+        cursor.pending()
+        assert cursor.pending() == []
+        assert cursor.after_version == 3
+
+    def test_wait_wakes_on_append(self, tmp_path):
+        wal = self._log_with(tmp_path, 1)
+        cursor = wal.cursor(0)
+        cursor.pending()
+        assert cursor.wait(0.05) is False  # nothing new: times out
+        wal.append(1, 2, [{"op": "add_vertex", "u": "W"}])
+        assert cursor.wait(5.0) is True
+        assert [r.version for r in cursor.pending()] == [2]
+
+    def test_truncation_behind_cursor_flags_lost_history(self, tmp_path):
+        wal = self._log_with(tmp_path, 3)
+        cursor = wal.cursor(0)  # never drained: still needs versions 1..3
+        wal.truncate()
+        wal.append(3, 4, [{"op": "add_vertex", "u": "X"}])
+        assert cursor.pending() == []
+        assert cursor.lost_history is True
+
+    def test_caught_up_cursor_survives_truncation(self, tmp_path):
+        wal = self._log_with(tmp_path, 3)
+        cursor = wal.cursor(0)
+        cursor.pending()  # drained to 3 before the checkpoint
+        wal.truncate()
+        wal.append(3, 4, [{"op": "add_vertex", "u": "X"}])
+        assert [r.version for r in cursor.pending()] == [4]
+        assert cursor.lost_history is False
+
+
+# ----------------------------------------------------------------------
+# live in-process tier
+# ----------------------------------------------------------------------
+@contextmanager
+def replication_tier(tmp_path, replicas=1, min_version_deadline=5.0):
+    """Writer + N replicas + router, all in-process, torn down afterwards."""
+    service = CommunityService(
+        fig1_profiled_graph(), storage_dir=tmp_path / "writer"
+    )
+    writer = WriterGateway(service, heartbeat_interval=0.1, port=0)
+    writer.start()
+    reps = []
+    router = None
+    try:
+        for index in range(replicas):
+            rep = ReplicaGateway(
+                _url(writer),
+                tmp_path / f"replica-{index}",
+                reconnect_backoff=0.05,
+                port=0,
+            )
+            rep.start()
+            reps.append(rep)
+        router = ReplicationRouter(
+            _url(writer),
+            [_url(r) for r in reps],
+            min_version_deadline=min_version_deadline,
+            health_interval=0.05,
+        )
+        router.start()
+        yield writer, reps, router
+    finally:
+        if router is not None:
+            router.close()
+        for rep in reps:
+            rep.close()
+        writer.close()
+
+
+class TestInProcessTier:
+    def test_routed_read_matches_direct_answer(self, tmp_path):
+        with replication_tier(tmp_path) as (writer, _reps, router):
+            expected = envelope(writer.service.query(PROBE))
+            with ServerClient(*router.address) as client:
+                got = envelope(client.query(PROBE))
+            assert got == expected
+
+    def test_write_then_read_your_writes(self, tmp_path):
+        with replication_tier(tmp_path) as (_writer, reps, router):
+            with ServerClient(*router.address) as client:
+                receipt = client.update(UPDATES)
+                version = receipt["graph_version"]
+                assert version >= len(UPDATES)
+                # min_version forces the router to wait for a caught-up
+                # replica (or fall back to the writer) — the answer must
+                # reflect the write it acknowledged.
+                response = client.query(PROBE, min_version=version)
+                assert response.graph_version >= version
+            _wait_until(
+                lambda: reps[0].service.pg.version >= version,
+                what="replica catch-up",
+            )
+            counters = router.counters
+            assert counters["writes_proxied"] >= 1
+            assert counters["reads_proxied"] >= 1
+            assert router.last_write_version == version
+
+    def test_min_version_past_deadline_is_503(self, tmp_path):
+        with replication_tier(tmp_path, min_version_deadline=0.3) as tier:
+            _writer, _reps, router = tier
+            with ServerClient(*router.address) as client:
+                with pytest.raises(ServerError) as err:
+                    client.query(PROBE, min_version=10_000)
+            assert err.value.status == 503
+            assert err.value.error_type == "min_version_deadline"
+            assert err.value.retry_after is not None
+            assert router.counters["deadline_exceeded"] >= 1
+
+    def test_write_to_replica_redirects_307(self, tmp_path):
+        with replication_tier(tmp_path) as (writer, reps, _router):
+            with ServerClient(*reps[0].address) as client:
+                with pytest.raises(ServerError) as err:
+                    client.update(UPDATES)
+            assert err.value.status == 307
+            assert err.value.location == f"{_url(writer)}/update"
+            # The redirect is advice, not a silent replay: nothing applied.
+            assert writer.service.pg.version == 0
+
+    def test_health_surfaces_replication_vitals(self, tmp_path):
+        with replication_tier(tmp_path) as (writer, reps, router):
+            with ServerClient(*reps[0].address) as replica_client:
+                _wait_until(
+                    lambda: replica_client.healthz()["replication"]["connected"],
+                    what="replica stream connection",
+                )
+                vitals = replica_client.healthz()["replication"]
+            assert vitals["writer_url"] == _url(writer)
+            assert vitals["lag_versions"] == 0
+            assert vitals["resyncs"] == 0
+            with ServerClient(*writer.address) as writer_client:
+                _wait_until(
+                    lambda: writer_client.healthz()["replication"]["subscribers"] == 1,
+                    what="writer subscriber count",
+                )
+            health = router.health()
+            assert health["role"] == "router"
+            assert health["writer"]["url"] == _url(writer)
+            assert len(health["replicas"]) == 1
+            stats = router.stats()
+            assert stats["server"]["role"] == "router"
+            assert set(stats["server"]["counters"]) == set(router.counters)
+
+    def test_router_rejects_unknown_paths_and_methods(self, tmp_path):
+        with replication_tier(tmp_path) as (_writer, _reps, router):
+            with ServerClient(*router.address) as client:
+                with pytest.raises(ServerError) as missing:
+                    client._request("POST", "/nope", {})
+                with pytest.raises(ServerError) as wrong_verb:
+                    client._request("GET", "/query")
+            assert missing.value.status == 404
+            assert wrong_verb.value.status == 405
+
+    def test_replica_resyncs_after_writer_checkpoint(self, tmp_path):
+        service = CommunityService(
+            fig1_profiled_graph(), storage_dir=tmp_path / "writer"
+        )
+        writer = WriterGateway(service, heartbeat_interval=0.1, port=0)
+        writer.start()
+        try:
+            replica_dir = tmp_path / "replica"
+            first = ReplicaGateway(
+                _url(writer), replica_dir, reconnect_backoff=0.05, port=0
+            )
+            first.start()
+            service.apply_updates(UPDATES[:1])
+            _wait_until(
+                lambda: first.service.pg.version == 1, what="initial catch-up"
+            )
+            first.close()
+            # While the replica is down: advance past its position, then
+            # checkpoint — the WAL records it still needs are truncated
+            # away, so on reboot the stream must answer "resync".
+            service.apply_updates(UPDATES[1:])
+            service.snapshot()
+            service.apply_updates([{"op": "add_vertex", "u": "R9"}])
+            second = ReplicaGateway(
+                _url(writer), replica_dir, reconnect_backoff=0.05, port=0
+            )
+            second.start()
+            try:
+                target = service.pg.version
+                _wait_until(
+                    lambda: second.service.pg.version == target,
+                    what="post-resync catch-up",
+                )
+                with ServerClient(*second.address) as client:
+                    vitals = client.healthz()["replication"]
+                assert vitals["resyncs"] == 1
+                # Still streaming after the resync: new writes arrive.
+                service.apply_updates([{"op": "add_vertex", "u": "R10"}])
+                _wait_until(
+                    lambda: second.service.pg.version == target + 1,
+                    what="post-resync streaming",
+                )
+            finally:
+                second.close()
+        finally:
+            writer.close()
+
+    def test_writer_requires_durable_service(self, tmp_path):
+        with CommunityService(fig1_profiled_graph()) as memory_only:
+            with pytest.raises(InvalidInputError):
+                WriterGateway(memory_only)
+
+    def test_router_requires_replicas(self):
+        with pytest.raises(InvalidInputError):
+            ReplicationRouter("http://127.0.0.1:9", [])
