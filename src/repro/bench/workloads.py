@@ -57,7 +57,7 @@ def make_workload(
     root label, so PCS queries have a non-trivial search space (the paper's
     real query vertices always carry profiles).
     """
-    restrict: List[Vertex] = None
+    restrict: Optional[List[Vertex]] = None
     if require_profile:
         restrict = [v for v in pg.vertices() if len(pg.labels(v)) > 1]
     queries = random_queries(pg.graph, num_queries, k, seed=seed, restrict_to=restrict)

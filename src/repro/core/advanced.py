@@ -260,7 +260,7 @@ def advanced_query(
     k: int,
     find: str = "P",
     index: Optional[CPTree] = None,
-    cohesion: CohesionModel = None,
+    cohesion: Optional[CohesionModel] = None,
 ) -> PCSResult:
     """Run an advanced PCS query (Algorithm 8) with the chosen cut finder.
 

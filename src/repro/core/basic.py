@@ -14,7 +14,7 @@ peel cost.
 from __future__ import annotations
 
 import time
-from typing import Hashable
+from typing import Hashable, Optional
 
 from repro.core.apriori import apriori_traverse
 from repro.core.cohesion import CohesionModel
@@ -30,7 +30,7 @@ def basic_query(
     pg: ProfiledGraph,
     q: Vertex,
     k: int,
-    cohesion: CohesionModel = None,
+    cohesion: Optional[CohesionModel] = None,
 ) -> PCSResult:
     """Run the ``basic`` PCS query (Algorithm 1).
 

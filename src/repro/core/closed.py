@@ -50,7 +50,7 @@ def closed_query(
     q: Vertex,
     k: int,
     index: Optional[CPTree] = None,
-    cohesion: CohesionModel = None,
+    cohesion: Optional[CohesionModel] = None,
 ) -> PCSResult:
     """PCS by closed-subtree enumeration (closure jumping).
 

@@ -75,7 +75,7 @@ class FeasibilityOracle:
         q: Vertex,
         k: int,
         index: Optional[CPTree] = None,
-        cohesion: CohesionModel = None,
+        cohesion: Optional[CohesionModel] = None,
     ) -> None:
         if q not in pg.graph:
             raise VertexNotFoundError(q)

@@ -29,7 +29,7 @@ def incre_query(
     q: Vertex,
     k: int,
     index: Optional[CPTree] = None,
-    cohesion: CohesionModel = None,
+    cohesion: Optional[CohesionModel] = None,
 ) -> PCSResult:
     """Run the ``incre`` PCS query (Algorithm 3).
 

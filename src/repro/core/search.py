@@ -64,7 +64,7 @@ def pcs(
     k: int,
     method: str = "adv-P",
     index: Optional[CPTree] = None,
-    cohesion: CohesionModel = None,
+    cohesion: Optional[CohesionModel] = None,
     engine: Optional[Engine] = None,
 ) -> PCSResult:
     """Profiled community search: all PCs of query vertex ``q`` (Problem 1).

@@ -40,7 +40,7 @@ across tens of thousands of random edits.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Hashable, Set
+from typing import Dict, FrozenSet, Hashable, Optional, Set
 
 from repro.errors import InvalidInputError, VertexNotFoundError
 from repro.graph.core import core_numbers
@@ -68,7 +68,7 @@ class DynamicCoreIndex:
 
     __slots__ = ("graph", "_core")
 
-    def __init__(self, graph: Graph, cores: Dict[Vertex, int] = None):
+    def __init__(self, graph: Graph, cores: Optional[Dict[Vertex, int]] = None):
         self.graph = graph
         #: ``cores`` lets a caller seed from an existing decomposition
         #: (e.g. a freshly built CL-tree) instead of re-peeling O(m).

@@ -116,14 +116,14 @@ def load_queries(
 
 
 def parse_query_text(
-    text: str, default_k: int = 6, default_method: str = None
+    text: str, default_k: int = 6, default_method: Optional[str] = None
 ) -> List[QuerySpec]:
     """Legacy form of :func:`parse_queries` returning ``QuerySpec`` items."""
     return [q.to_spec() for q in parse_queries(text, default_k, default_method)]
 
 
 def load_query_file(
-    path: Union[str, Path], default_k: int = 6, default_method: str = None
+    path: Union[str, Path], default_k: int = 6, default_method: Optional[str] = None
 ) -> List[QuerySpec]:
     """Legacy form of :func:`load_queries` returning ``QuerySpec`` items."""
     return [q.to_spec() for q in load_queries(path, default_k, default_method)]

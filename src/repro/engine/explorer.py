@@ -49,6 +49,7 @@ from repro.dynamic.core_maintenance import DynamicCoreIndex
 from repro.engine.cache import MISSING, CacheStats, LRUCache
 from repro.engine.updates import GraphUpdate, UpdateReceipt
 from repro.errors import InvalidInputError, VertexNotFoundError
+from repro.graph.csr import active_backend
 from repro.index.cltree import CLTree
 from repro.index.cptree import CPTree
 
@@ -170,6 +171,9 @@ class EngineStats:
     updates_applied: int = 0
     #: Time spent applying updates and incrementally repairing indexes.
     maintenance_seconds: float = 0.0
+    #: Kernel backend serving the hot graph kernels ("object", "csr" or
+    #: "numpy" — see :func:`repro.graph.csr.active_backend`).
+    backend: str = "object"
 
     @property
     def cache_hit_rate(self) -> float:
@@ -190,6 +194,7 @@ class EngineStats:
             "index_build_seconds": self.index_build_seconds,
             "updates_applied": self.updates_applied,
             "maintenance_seconds": self.maintenance_seconds,
+            "backend": self.backend,
         }
 
 
@@ -691,6 +696,7 @@ class CommunityExplorer:
                 batches=self._counters.batches,
                 updates_applied=self._counters.updates_applied,
                 maintenance_seconds=self._counters.maintenance_seconds,
+                backend=active_backend(),
             )
 
     def clear_cache(self) -> None:

@@ -14,6 +14,7 @@ from collections import deque
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set
 
 from repro.errors import InvalidInputError
+from repro.graph.csr import csr_view
 from repro.graph.graph import Graph
 
 Vertex = Hashable
@@ -25,7 +26,9 @@ def core_numbers(graph: Graph) -> Dict[Vertex, int]:
     """Core number of every vertex via O(m) bucket peeling.
 
     The core number of ``v`` is the largest ``k`` such that ``v`` belongs to
-    the k-core of ``graph``.
+    the k-core of ``graph``. Under the ``csr``/``numpy`` backends (see
+    :mod:`repro.graph.csr`) the peel runs on flat interned arrays; answers
+    are identical either way.
 
     Examples
     --------
@@ -33,6 +36,9 @@ def core_numbers(graph: Graph) -> Dict[Vertex, int]:
     >>> core_numbers(g)[0], core_numbers(g)[3]
     (2, 1)
     """
+    view = csr_view(graph)
+    if view is not None:
+        return view.core_numbers()
     degree = {v: graph.degree(v) for v in graph.vertices()}
     if not degree:
         return {}
@@ -70,6 +76,9 @@ def core_numbers_within(graph: Graph, vertices: Iterable[Vertex]) -> Dict[Vertex
     bucket peel as :func:`core_numbers` but with degrees restricted to the
     selection; vertices absent from the graph are ignored.
     """
+    view = csr_view(graph)
+    if view is not None:
+        return view.core_numbers_within(vertices)
     adj = graph.adjacency()
     selection: Set[Vertex] = {v for v in vertices if v in adj}
     degree = {v: sum(1 for u in adj[v] if u in selection) for v in selection}
@@ -139,6 +148,9 @@ def k_core_within(
     """
     if k < 0:
         raise InvalidInputError(f"k must be non-negative, got {k}")
+    view = csr_view(graph)
+    if view is not None:
+        return view.k_core_within(candidates, k, q)
     adj = graph.adjacency()
     alive: Set[Vertex] = {v for v in candidates if v in adj}
     if q is not None and q not in alive:

@@ -1,0 +1,580 @@
+"""Flat CSR backend for the hot graph kernels.
+
+The object :class:`~repro.graph.graph.Graph` keeps adjacency as
+``dict[vertex, set]`` — ideal for mutation and for arbitrary hashable
+vertex ids, but every peel or BFS then pays a hash lookup per edge visit.
+This module adds a second substrate: vertex ids are *interned* to dense
+integers once, adjacency is laid out in compressed-sparse-row form inside
+:mod:`array` buffers (``indptr``/``indices``), and the four dominant
+kernels — whole-graph core decomposition, selection-restricted core
+decomposition, the ``Gk[T]`` peel+BFS feasibility primitive and candidate
+component extraction — run over flat integer arrays, converting back to
+the caller's vertex objects only at the boundary. Answers are therefore
+*identical* to the object kernels (the differential suite asserts it);
+only the walk underneath changes.
+
+Backend selection is process-wide and cheap to consult:
+
+``REPRO_BACKEND=object``
+    Never build CSR views; every kernel takes the historical dict/set path.
+``REPRO_BACKEND=csr`` (the default)
+    Pure-stdlib CSR: ``array``/``bytearray``/``memoryview`` only.
+``REPRO_BACKEND=numpy``
+    Same kernels, with numpy (when importable) vectorising the bulk
+    array transforms — CSR assembly from the snapshot's sorted edge
+    table and whole-graph degree initialisation. When numpy is absent
+    the backend silently degrades to ``csr``; nothing here imports
+    numpy eagerly.
+
+A :class:`CSRGraph` is an immutable *snapshot* of one graph revision.
+:func:`csr_view` caches it on ``Graph._csr``; every Graph mutator drops
+the cache, so a stale view is never observable through the dispatch
+helpers in :mod:`repro.graph.core`.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import deque
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from repro.errors import InvalidInputError, VertexNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle break, typing only
+    from repro.graph.graph import Graph
+
+Vertex = Hashable
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
+    "CSRGraph",
+    "DEFAULT_BACKEND",
+    "active_backend",
+    "backend_override",
+    "csr_view",
+    "numpy_available",
+    "requested_backend",
+    "set_backend",
+]
+
+#: Recognised values of the backend switch.
+BACKENDS = ("object", "csr", "numpy")
+
+#: Environment variable naming the process-wide default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Backend used when neither the environment nor an override names one.
+DEFAULT_BACKEND = "csr"
+
+EMPTY: FrozenSet[Vertex] = frozenset()
+
+#: Candidate selections covering at least 1/``_DENSE_RATIO`` of the graph
+#: peel over O(n) flat arrays; smaller ones use int-keyed dicts/sets so a
+#: tiny query on a million-vertex graph never pays an O(n) allocation.
+_DENSE_RATIO = 4
+
+_UNSET = object()
+_numpy_module = _UNSET
+_override: Optional[str] = None
+
+
+def _numpy():
+    """The numpy module when importable, else ``None`` (never raises)."""
+    global _numpy_module
+    if _numpy_module is _UNSET:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - depends on environment
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
+def numpy_available() -> bool:
+    """Whether the optional ``numpy`` acceleration can actually load."""
+    return _numpy() is not None
+
+
+def _validate(name: str) -> str:
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise InvalidInputError(
+            f"unknown backend {name!r}; choose one of {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def requested_backend() -> str:
+    """The backend named by the override or ``REPRO_BACKEND``, unresolved.
+
+    Raises
+    ------
+    InvalidInputError
+        If the environment names a backend outside :data:`BACKENDS`.
+    """
+    if _override is not None:
+        return _override
+    return _validate(os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND)
+
+
+def active_backend() -> str:
+    """The backend that will actually serve kernels.
+
+    ``numpy`` degrades to ``csr`` when numpy is not importable — the
+    stdlib path is always available, so requesting acceleration can never
+    break a deployment that lacks the package.
+    """
+    name = requested_backend()
+    if name == "numpy" and not numpy_available():
+        return "csr"
+    return name
+
+
+def set_backend(name: Optional[str]) -> Optional[str]:
+    """Install a process-wide backend override; returns the previous one.
+
+    ``None`` removes the override, returning control to the environment.
+    """
+    global _override
+    previous = _override
+    _override = None if name is None else _validate(name)
+    return previous
+
+
+@contextmanager
+def backend_override(name: Optional[str]) -> Iterator[str]:
+    """Temporarily force a backend — the differential-test workhorse.
+
+    Yields the *resolved* backend (so a test forcing ``numpy`` can see it
+    degraded to ``csr`` on numpy-less hosts).
+    """
+    previous = set_backend(name)
+    try:
+        yield active_backend()
+    finally:
+        set_backend(previous)
+
+
+class CSRGraph:
+    """An immutable CSR snapshot of one graph revision.
+
+    Attributes
+    ----------
+    n:
+        Vertex count; interned ids are exactly ``range(n)``.
+    indptr:
+        ``array('Q')`` of length ``n + 1``; vertex ``i``'s neighbours live
+        in ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``array('I')`` of length ``2m`` holding interned neighbour ids.
+    ids:
+        Interned id → original vertex object (the intern table).
+    index_of:
+        Original vertex object → interned id (inverse of ``ids``).
+    """
+
+    __slots__ = ("n", "indptr", "indices", "ids", "index_of")
+
+    def __init__(
+        self,
+        ids: List[Vertex],
+        index_of: Dict[Vertex, int],
+        indptr: array,
+        indices: array,
+    ) -> None:
+        self.ids = ids
+        self.index_of = index_of
+        self.indptr = indptr
+        self.indices = indices
+        self.n = len(ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (each edge is stored twice)."""
+        return len(self.indices) // 2
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the two flat adjacency buffers."""
+        return len(memoryview(self.indptr).cast("B")) + len(
+            memoryview(self.indices).cast("B")
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: "Graph") -> "CSRGraph":
+        """Intern ``graph``'s vertices and lay its adjacency out in CSR."""
+        adj = graph.adjacency()
+        ids = list(adj)
+        index_of = {v: i for i, v in enumerate(ids)}
+        intern = index_of.__getitem__
+        indptr = array("Q", [0])
+        indices = array("I")
+        extend = indices.extend
+        append = indptr.append
+        for v in ids:
+            extend(map(intern, adj[v]))
+            append(len(indices))
+        return cls(ids, index_of, indptr, indices)
+
+    @classmethod
+    def from_sorted_edges(cls, order: Sequence[Vertex], flat: Sequence[int]) -> "CSRGraph":
+        """Build from an intern table plus a flat ``(u, v)`` endpoint array.
+
+        ``order`` maps interned id → vertex (position is the id) and
+        ``flat`` holds ``2m`` interned endpoints, one edge per consecutive
+        pair — exactly the tables :mod:`repro.storage.snapshot` decodes,
+        which makes boot-from-snapshot nearly copy-free: no dict-of-sets
+        detour, the edge array scatters straight into the CSR buffers
+        (vectorised under the ``numpy`` backend).
+        """
+        ids = list(order)
+        n = len(ids)
+        index_of = {v: i for i, v in enumerate(ids)}
+        np = _numpy() if active_backend() == "numpy" else None
+        if np is not None and len(flat):
+            endpoints = np.asarray(flat, dtype=np.int64)
+            u, v = endpoints[0::2], endpoints[1::2]
+            degree = np.bincount(u, minlength=n) + np.bincount(v, minlength=n)
+            indptr_np = np.zeros(n + 1, dtype=np.uint64)
+            np.cumsum(degree, out=indptr_np[1:])
+            src = np.concatenate([u, v])
+            dst = np.concatenate([v, u])
+            csr_order = np.argsort(src, kind="stable")
+            indptr = array("Q")
+            indptr.frombytes(indptr_np.tobytes())
+            indices = array("I")
+            indices.frombytes(dst[csr_order].astype(np.uint32).tobytes())
+            return cls(ids, index_of, indptr, indices)
+        degree = [0] * n
+        for x in flat:
+            degree[x] += 1
+        indptr = array("Q", bytes(8 * (n + 1)))
+        total = 0
+        for i, d in enumerate(degree):
+            total += d
+            indptr[i + 1] = total
+        cursor = list(indptr[:n]) if n else []
+        indices = array("I", bytes(4 * total))
+        pairs = iter(flat)
+        for u in pairs:
+            v = next(pairs)
+            cu = cursor[u]
+            indices[cu] = v
+            cursor[u] = cu + 1
+            cv = cursor[v]
+            indices[cv] = u
+            cursor[v] = cv + 1
+        return cls(ids, index_of, indptr, indices)
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def _degrees(self) -> List[int]:
+        """Whole-graph degree list (``indptr`` diffs; vectorised on numpy)."""
+        indptr = self.indptr
+        np = _numpy() if active_backend() == "numpy" else None
+        if np is not None and self.n:
+            return np.diff(np.frombuffer(indptr, dtype=np.uint64).astype(np.int64)).tolist()
+        return [indptr[i + 1] - indptr[i] for i in range(self.n)]
+
+    def core_numbers(self) -> Dict[Vertex, int]:
+        """Whole-graph core numbers via the array form of Batagelj–Zaveršnik.
+
+        The bin-sorted vertex permutation replaces the bucket-of-sets peel:
+        one flat pass over ``indices`` with O(1) swaps per degree decrement.
+        """
+        n = self.n
+        if n == 0:
+            return {}
+        indptr, indices, ids = self.indptr, self.indices, self.ids
+        core = self._degrees()  # peeled down in place; ends as core numbers
+        max_degree = max(core)
+        counts = [0] * (max_degree + 1)
+        for d in core:
+            counts[d] += 1
+        bin_start = [0] * (max_degree + 1)
+        total = 0
+        for d in range(max_degree + 1):
+            bin_start[d] = total
+            total += counts[d]
+        fill = bin_start[:]
+        pos = [0] * n
+        vert = [0] * n
+        for v in range(n):
+            p = fill[core[v]]
+            pos[v] = p
+            vert[p] = v
+            fill[core[v]] = p + 1
+        for i in range(n):
+            v = vert[i]
+            cv = core[v]
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                cu = core[u]
+                if cu > cv:
+                    # swap u to the front of its bin, then shrink the bin
+                    pu = pos[u]
+                    pw = bin_start[cu]
+                    w = vert[pw]
+                    if u != w:
+                        vert[pu] = w
+                        pos[w] = pu
+                        vert[pw] = u
+                        pos[u] = pw
+                    bin_start[cu] = pw + 1
+                    core[u] = cu - 1
+        return dict(zip(ids, core))
+
+    def core_numbers_within(self, vertices: Iterable[Vertex]) -> Dict[Vertex, int]:
+        """Core numbers of the subgraph induced on ``vertices``.
+
+        Sparse by design: state is keyed on the interned selection only,
+        so the per-label CL-tree builds inside a CP-tree never allocate
+        O(n) scratch per label.
+        """
+        index_of = self.index_of
+        selection: Set[int] = set()
+        for v in vertices:
+            i = index_of.get(v)
+            if i is not None:
+                selection.add(i)
+        if not selection:
+            return {}
+        indptr, indices, ids = self.indptr, self.indices, self.ids
+        degree: Dict[int, int] = {}
+        for v in selection:
+            d = 0
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if u in selection:
+                    d += 1
+            degree[v] = d
+        max_degree = max(degree.values())
+        buckets: List[Set[int]] = [set() for _ in range(max_degree + 1)]
+        for v, d in degree.items():
+            buckets[d].add(v)
+        core: Dict[int, int] = {}
+        current = 0
+        for _ in range(len(degree)):
+            while not buckets[current]:
+                current += 1
+            v = buckets[current].pop()
+            core[v] = current
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if u in selection and u not in core:
+                    du = degree[u]
+                    if du > current:
+                        buckets[du].discard(u)
+                        degree[u] = du - 1
+                        buckets[du - 1].add(u)
+        return {ids[v]: c for v, c in core.items()}
+
+    def k_core_within(
+        self,
+        candidates: Iterable[Vertex],
+        k: int,
+        q: Optional[Vertex] = None,
+    ) -> FrozenSet[Vertex]:
+        """Peel ``G[candidates]`` to min-degree ``k``; optionally q's component.
+
+        Semantics match :func:`repro.graph.core.k_core_within` exactly,
+        including the treatment of unknown candidates and of a peeled-away
+        ``q``. Dense selections use flat ``bytearray``/list scratch; small
+        ones stay on int sets.
+        """
+        if k < 0:
+            raise InvalidInputError(f"k must be non-negative, got {k}")
+        n = self.n
+        index_of = self.index_of
+        cand: List[int] = []
+        seen: Set[int] = set()
+        for v in candidates:
+            i = index_of.get(v)
+            if i is not None and i not in seen:
+                seen.add(i)
+                cand.append(i)
+        qi: Optional[int] = None
+        if q is not None:
+            qi = index_of.get(q)
+            if qi is None or qi not in seen:
+                return EMPTY
+        if len(cand) * _DENSE_RATIO >= n:
+            return self._k_core_within_dense(cand, k, qi, q is not None)
+        return self._k_core_within_sparse(seen, k, qi, q is not None)
+
+    def _k_core_within_dense(
+        self, cand: List[int], k: int, qi: Optional[int], component: bool
+    ) -> FrozenSet[Vertex]:
+        """Flat-array peel for selections comparable to the whole graph."""
+        n = self.n
+        indptr, indices, ids = self.indptr, self.indices, self.ids
+        alive = bytearray(n)
+        for v in cand:
+            alive[v] = 1
+        if len(cand) == n:
+            degree = self._degrees()
+        else:
+            degree = [0] * n
+            for v in cand:
+                d = 0
+                for u in indices[indptr[v] : indptr[v + 1]]:
+                    if alive[u]:
+                        d += 1
+                degree[v] = d
+        queue: deque = deque(v for v in cand if degree[v] < k)
+        pending = bytearray(n)
+        for v in queue:
+            pending[v] = 1
+        while queue:
+            v = queue.popleft()
+            if not alive[v]:
+                continue
+            alive[v] = 0
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if alive[u]:
+                    du = degree[u] - 1
+                    degree[u] = du
+                    if du < k and not pending[u]:
+                        pending[u] = 1
+                        queue.append(u)
+        lookup = ids.__getitem__
+        if not component:
+            return frozenset(map(lookup, filter(alive.__getitem__, cand)))
+        if not alive[qi]:
+            return EMPTY
+        reached = bytearray(n)
+        reached[qi] = 1
+        out = [qi]
+        frontier: deque = deque((qi,))
+        while frontier:
+            v = frontier.popleft()
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if alive[u] and not reached[u]:
+                    reached[u] = 1
+                    out.append(u)
+                    frontier.append(u)
+        return frozenset(map(lookup, out))
+
+    def _k_core_within_sparse(
+        self, alive: Set[int], k: int, qi: Optional[int], component: bool
+    ) -> FrozenSet[Vertex]:
+        """Int-set peel for selections much smaller than the graph."""
+        indptr, indices, ids = self.indptr, self.indices, self.ids
+        degree: Dict[int, int] = {}
+        for v in alive:
+            d = 0
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if u in alive:
+                    d += 1
+            degree[v] = d
+        queue: deque = deque(v for v, d in degree.items() if d < k)
+        pending: Set[int] = set(queue)
+        while queue:
+            v = queue.popleft()
+            if v not in alive:
+                continue
+            alive.discard(v)
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if u in alive:
+                    du = degree[u] - 1
+                    degree[u] = du
+                    if du < k and u not in pending:
+                        pending.add(u)
+                        queue.append(u)
+        if not component:
+            return frozenset(ids[v] for v in alive)
+        if qi not in alive:
+            return EMPTY
+        reached: Set[int] = {qi}
+        frontier: deque = deque((qi,))
+        while frontier:
+            v = frontier.popleft()
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if u in alive and u not in reached:
+                    reached.add(u)
+                    frontier.append(u)
+        return frozenset(ids[v] for v in reached)
+
+    def component_of(
+        self, source: Vertex, within: Optional[Iterable[Vertex]] = None
+    ) -> FrozenSet[Vertex]:
+        """Connected component of ``source``, optionally inside ``within``.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If ``source`` is not interned (or excluded by ``within``) —
+            the same contract as :meth:`Graph.component_of`.
+        """
+        index_of = self.index_of
+        indptr, indices, ids = self.indptr, self.indices, self.ids
+        si = index_of.get(source)
+        if within is None:
+            if si is None:
+                raise VertexNotFoundError(source)
+            reached = bytearray(self.n)
+            reached[si] = 1
+            out = [si]
+            frontier: deque = deque((si,))
+            while frontier:
+                v = frontier.popleft()
+                for u in indices[indptr[v] : indptr[v + 1]]:
+                    if not reached[u]:
+                        reached[u] = 1
+                        out.append(u)
+                        frontier.append(u)
+            return frozenset(ids[v] for v in out)
+        allowed: Set[int] = set()
+        for v in within:
+            i = index_of.get(v)
+            if i is not None:
+                allowed.add(i)
+        if si is None or si not in allowed:
+            raise VertexNotFoundError(source)
+        seen: Set[int] = {si}
+        frontier = deque((si,))
+        while frontier:
+            v = frontier.popleft()
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if u in allowed and u not in seen:
+                    seen.add(u)
+                    frontier.append(u)
+        return frozenset(ids[v] for v in seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.n}, m={self.num_edges})"
+
+
+def csr_view(graph: "Graph", build: bool = True) -> Optional[CSRGraph]:
+    """The graph's cached CSR snapshot under the active backend.
+
+    Returns ``None`` when the ``object`` backend is active (callers then
+    take the historical dict/set path). Otherwise returns the cached view,
+    building and attaching it first when ``build`` is true — mutators
+    invalidate the attachment, so the view always matches the revision.
+    Graph-likes without a ``_csr`` slot get an uncached one-shot view.
+    """
+    if active_backend() == "object":
+        return None
+    try:
+        view = graph._csr
+    except AttributeError:  # pragma: no cover - foreign graph-likes
+        return CSRGraph.from_graph(graph) if build else None
+    if view is None and build:
+        view = CSRGraph.from_graph(graph)
+        graph._csr = view
+    return view

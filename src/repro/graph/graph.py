@@ -13,7 +13,7 @@ metrics (minimum degree, trusses) are defined on simple graphs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import InvalidInputError, VertexNotFoundError
 
@@ -39,13 +39,26 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_csr")
 
     def __init__(self, edges: Iterable[Edge] = ()) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._num_edges = 0
+        #: Cached CSR snapshot of this revision (see repro.graph.csr);
+        #: every structural mutation drops it.
+        self._csr = None
         for u, v in edges:
             self.add_edge(u, v)
+
+    def __getstate__(self) -> dict:
+        # The CSR cache is a derived structure — rebuildable, and not
+        # worth shipping across process boundaries.
+        return {"_adj": self._adj, "_num_edges": self._num_edges}
+
+    def __setstate__(self, state: dict) -> None:
+        self._adj = state["_adj"]
+        self._num_edges = state["_num_edges"]
+        self._csr = None
 
     # ------------------------------------------------------------------
     # construction
@@ -54,6 +67,7 @@ class Graph:
         """Add an isolated vertex; a no-op if it already exists."""
         if v not in self._adj:
             self._adj[v] = set()
+            self._csr = None
 
     def add_vertices(self, vertices: Iterable[Vertex]) -> None:
         """Add every vertex in ``vertices``."""
@@ -76,6 +90,7 @@ class Graph:
             self._adj[u].add(v)
             self._adj[v].add(u)
             self._num_edges += 1
+            self._csr = None
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         """Add every edge in ``edges`` (duplicates are ignored)."""
@@ -88,6 +103,7 @@ class Graph:
             self._adj[u].discard(v)
             self._adj[v].discard(u)
             self._num_edges -= 1
+            self._csr = None
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and all incident edges.
@@ -103,6 +119,7 @@ class Graph:
             self._adj[u].discard(v)
         self._num_edges -= len(self._adj[v])
         del self._adj[v]
+        self._csr = None
 
     # ------------------------------------------------------------------
     # inspection
@@ -182,6 +199,9 @@ class Graph:
         g = Graph()
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
         g._num_edges = self._num_edges
+        # A CSR view is an immutable snapshot of this exact structure, so
+        # the copy can share it until either side mutates.
+        g._csr = self._csr
         return g
 
     def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
@@ -192,18 +212,27 @@ class Graph:
         g._num_edges = sum(len(nbrs) for nbrs in g._adj.values()) // 2
         return g
 
-    def component_of(self, source: Vertex, within: Iterable[Vertex] = None) -> FrozenSet[Vertex]:
+    def component_of(
+        self, source: Vertex, within: Optional[Iterable[Vertex]] = None
+    ) -> FrozenSet[Vertex]:
         """Vertices connected to ``source``, optionally restricted to ``within``.
 
         Runs a BFS over ``self`` but only visits vertices in ``within`` when
         that restriction is given. This is the primitive behind ``G[T]`` /
-        ``Gk[T]`` component extraction in the PCS algorithms.
+        ``Gk[T]`` component extraction in the PCS algorithms. When a CSR
+        view of this revision is already cached (and the ``object`` backend
+        is not forced), the traversal runs on the flat arrays instead.
 
         Raises
         ------
         VertexNotFoundError
             If ``source`` is not in the graph (or not in ``within``).
         """
+        if self._csr is not None:
+            from repro.graph.csr import active_backend
+
+            if active_backend() != "object":
+                return self._csr.component_of(source, within)
         allowed = self._adj.keys() if within is None else set(within)
         if source not in self._adj or source not in allowed:
             raise VertexNotFoundError(source)

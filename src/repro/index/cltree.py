@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional
 
-from repro.graph.core import core_numbers_within
+from repro.graph.core import core_numbers, core_numbers_within
 from repro.graph.graph import Graph
 
 Vertex = Hashable
@@ -91,10 +91,16 @@ class CLTree:
         vertices: Optional[Iterable[Vertex]] = None,
         cores: Optional[Dict[Vertex, int]] = None,
     ):
-        selection = graph.vertex_set() if vertices is None else vertices
         if cores is None:
-            core = core_numbers_within(graph, selection)
+            # The whole-graph build takes the unrestricted peel — it skips
+            # the selection bookkeeping and is the form the CSR backend
+            # accelerates hardest.
+            if vertices is None:
+                core = core_numbers(graph)
+            else:
+                core = core_numbers_within(graph, vertices)
         else:
+            selection = graph.vertex_set() if vertices is None else vertices
             adj = graph.adjacency()
             core = {v: cores[v] for v in selection if v in adj}
         self._core_of: Dict[Vertex, int] = core

@@ -1,6 +1,6 @@
-"""API-hygiene checker: ``__all__`` honesty, mutable defaults, swallows.
+"""API-hygiene checker: ``__all__`` honesty, defaults, annotations, swallows.
 
-Three classic rot patterns, each observed at least once in this repo's
+Four classic rot patterns, each observed at least once in this repo's
 history:
 
 * **__all__ drift** — in a module that declares ``__all__``, every
@@ -11,6 +11,12 @@ history:
   signal-heavy.
 * **mutable default arguments** — ``def f(x=[])`` / ``{}`` / ``set()``:
   the default is shared across calls.
+* **implicit Optional** — ``def f(x: Iterable[str] = None)``: the
+  default contradicts the annotation (PEP 484 dropped the implicit
+  Optional reading). Annotations are resolved through module-level
+  aliases and project-internal imports, so a ``Union[..., None]`` alias
+  defined two modules away is recognised as nullable; names the checker
+  cannot resolve stay silent rather than guessing.
 * **exception swallowing** — a bare ``except:`` anywhere, and an
   ``except Exception:`` / ``except BaseException:`` whose body is only
   ``pass``/``continue`` (it hides the error and keeps going).
@@ -19,7 +25,7 @@ history:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.findings import Finding
 from repro.lint.project import Module
@@ -30,6 +36,54 @@ _MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
 
 #: Broad exception classes that, with an empty body, swallow errors.
 _BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+#: Annotation names that can never admit a bare ``None`` default:
+#: builtin scalars/containers plus the common non-nullable typing forms.
+_NON_NULLABLE_NAMES = frozenset(
+    {
+        "str", "int", "float", "bool", "bytes", "bytearray", "complex",
+        "list", "dict", "set", "frozenset", "tuple", "type",
+        "List", "Dict", "Set", "FrozenSet", "Tuple", "Sequence",
+        "Iterable", "Iterator", "Mapping", "MutableMapping", "Callable",
+        "Deque", "Collection",
+    }
+)
+
+#: Annotation names that always admit ``None`` (or make the check moot).
+_NULLABLE_NAMES = frozenset({"Optional", "Any", "AnyStr", "object"})
+
+#: Alias-resolution hop budget; past this the checker stays silent.
+_MAX_RESOLVE_DEPTH = 8
+
+#: ``name -> ("class", None) | ("alias", expr) | ("import", (mod, name))``
+_SymbolTable = Dict[str, Tuple[str, object]]
+
+
+def _module_symbols(tree: ast.Module) -> _SymbolTable:
+    """Module-level bindings relevant to annotation nullability."""
+    symbols: _SymbolTable = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            symbols[node.name] = ("class", None)
+        elif (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            symbols[node.targets[0].id] = ("alias", node.value)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.value is not None
+        ):
+            symbols[node.target.id] = ("alias", node.value)
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                symbols[alias.asname or alias.name] = (
+                    "import",
+                    (node.module, alias.name),
+                )
+    return symbols
 
 
 def _declared_all(tree: ast.Module) -> Optional[Tuple[List[str], int]]:
@@ -118,18 +172,20 @@ def _exportable_names(tree: ast.Module) -> Set[str]:
 
 @register
 class ApiHygieneChecker(Checker):
-    """Flag __all__ drift, mutable defaults, and silent except blocks."""
+    """Flag __all__ drift, bad defaults, and silent except blocks."""
 
     id = "api-hygiene"
     description = (
         "__all__ matches the defined public surface; no mutable default "
-        "arguments; no bare/silent excepts"
+        "arguments; None defaults carry Optional annotations; no "
+        "bare/silent excepts"
     )
 
     def check(self, module: Module, modules: List[Module]) -> Iterator[Finding]:
-        """Apply all three hygiene rules to the module."""
+        """Apply all four hygiene rules to the module."""
         yield from self._check_all(module)
         yield from self._check_defaults(module)
+        yield from self._check_implicit_optional(module, modules)
         yield from self._check_excepts(module)
 
     def _check_all(self, module: Module) -> Iterator[Finding]:
@@ -183,6 +239,141 @@ class ApiHygieneChecker(Checker):
                         ),
                         symbol=node.name,
                     )
+
+    def _check_implicit_optional(
+        self, module: Module, modules: List[Module]
+    ) -> Iterator[Finding]:
+        tables = self._project_tables(modules)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            positional = list(args.posonlyargs) + list(args.args)
+            pairs = list(zip(positional[len(positional) - len(args.defaults) :],
+                             args.defaults))
+            pairs.extend(
+                (arg, default)
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+                if default is not None
+            )
+            for arg, default in pairs:
+                if not (isinstance(default, ast.Constant) and default.value is None):
+                    continue
+                if arg.annotation is None:
+                    continue
+                if self._admits_none(arg.annotation, module.name, tables, 0, set()):
+                    continue
+                yield Finding(
+                    checker=self.id,
+                    path=module.relpath,
+                    line=arg.lineno,
+                    message=(
+                        f"parameter {arg.arg!r} defaults to None but its "
+                        f"annotation {ast.unparse(arg.annotation)!r} does not "
+                        "admit it — wrap the annotation in Optional[...]"
+                    ),
+                    symbol=node.name,
+                )
+
+    def _project_tables(self, modules: List[Module]) -> Dict[str, _SymbolTable]:
+        """Per-module symbol tables, cached for one lint run's module list."""
+        cached = getattr(self, "_tables_cache", None)
+        if cached is not None and cached[0] == id(modules):
+            return cached[1]
+        tables = {m.name: _module_symbols(m.tree) for m in modules if m.name}
+        self._tables_cache = (id(modules), tables)
+        return tables
+
+    def _admits_none(
+        self,
+        ann: Optional[ast.expr],
+        module_name: str,
+        tables: Dict[str, _SymbolTable],
+        depth: int,
+        seen: Set[Tuple[str, str]],
+    ) -> bool:
+        """Whether annotation ``ann`` can hold ``None`` (unknown ⇒ True).
+
+        Conservative on purpose: a finding fires only when the annotation
+        is *provably* non-nullable — a builtin/typing container, or a name
+        that resolves (through module-level aliases and project-internal
+        imports) to a class definition. String annotations, external
+        names, and anything past the hop budget stay silent.
+        """
+        if depth > _MAX_RESOLVE_DEPTH or ann is None:
+            return True
+        if isinstance(ann, ast.Constant):
+            return True  # `None` itself, or a string annotation left alone
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            return self._admits_none(
+                ann.left, module_name, tables, depth + 1, seen
+            ) or self._admits_none(ann.right, module_name, tables, depth + 1, seen)
+        if isinstance(ann, ast.Subscript):
+            base = ann.value
+            tail = (
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr if isinstance(base, ast.Attribute) else None
+            )
+            if tail == "Optional":
+                return True
+            if tail == "Union":
+                elts = (
+                    ann.slice.elts
+                    if isinstance(ann.slice, ast.Tuple)
+                    else [ann.slice]
+                )
+                return any(
+                    self._admits_none(elt, module_name, tables, depth + 1, seen)
+                    for elt in elts
+                )
+            return self._admits_none(base, module_name, tables, depth + 1, seen)
+        tail = (
+            ann.id
+            if isinstance(ann, ast.Name)
+            else ann.attr if isinstance(ann, ast.Attribute) else None
+        )
+        if tail is None:
+            return True
+        if tail in _NULLABLE_NAMES:
+            return True
+        if tail in _NON_NULLABLE_NAMES:
+            return False
+        if isinstance(ann, ast.Name):
+            resolved = self._resolve_name(ann.id, module_name, tables, depth, seen)
+            if resolved is not None:
+                return resolved
+        return True
+
+    def _resolve_name(
+        self,
+        name: str,
+        module_name: str,
+        tables: Dict[str, _SymbolTable],
+        depth: int,
+        seen: Set[Tuple[str, str]],
+    ) -> Optional[bool]:
+        """Nullability of ``name`` in ``module_name``; None when unknown."""
+        if depth > _MAX_RESOLVE_DEPTH or (module_name, name) in seen:
+            return None
+        seen.add((module_name, name))
+        table = tables.get(module_name)
+        if table is None:
+            return None
+        entry = table.get(name)
+        if entry is None:
+            return None
+        kind, payload = entry
+        if kind == "class":
+            return False
+        if kind == "alias":
+            return self._admits_none(payload, module_name, tables, depth + 1, seen)
+        target_module, target_name = payload
+        if target_module in tables:
+            return self._resolve_name(
+                target_name, target_module, tables, depth + 1, seen
+            )
+        return None
 
     def _check_excepts(self, module: Module) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -25,7 +25,11 @@ Only *eager* imports count: module-level ``import``/``from`` statements,
 including those inside module-level ``if``/``try`` blocks. Imports under
 ``if TYPE_CHECKING:`` and imports local to a function body are the
 sanctioned cycle-breaking idioms (e.g. the engine's lazy ``Query``
-import) and are exempt.
+import) and are exempt. Intra-package imports are likewise exempt —
+which is why the CSR backend lives at ``graph/csr.py`` (rank 1 with the
+rest of ``graph``) instead of as a new top-level package: ``graph.core``
+dispatches to it eagerly and ``graph.graph`` reaches back lazily, a
+cycle the DAG only tolerates inside one package.
 
 Note the measured order differs from the issue's sketch in one place:
 ``storage`` sits *below* ``api``/``parallel`` (both eagerly import it),

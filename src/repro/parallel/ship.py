@@ -52,8 +52,12 @@ def ship_graph(pg: ProfiledGraph) -> bytes:
     Graphs with int/str vertices ship as the interned binary encoding of
     :mod:`repro.storage.snapshot` (no header or digest — the pipe is
     trusted), so the wire form and the on-disk form can never disagree on
-    graph semantics. Exotic vertex types fall back to pickling a stripped
-    clone; a one-byte tag tells the worker which decoder to run.
+    graph semantics; decoding it in the worker also rebuilds the CSR view
+    straight from the wire's sorted intern tables (see
+    :mod:`repro.graph.csr`), so shard peels start on the flat backend
+    without re-interning. Exotic vertex types fall back to pickling a
+    stripped clone (the CSR cache is derived state and deliberately not
+    pickled); a one-byte tag tells the worker which decoder to run.
     """
     try:
         return _TAG_SNAPSHOT + snapshot_encode(pg)

@@ -166,9 +166,18 @@ def _handle_batch(gateway, body: bytes) -> HttpResponse:
 
 
 def _handle_update(gateway, body: bytes) -> HttpResponse:
-    items = _items_payload(_parse_json(body), "updates")
+    payload = _parse_json(body)
+    idempotency_key = None
+    if isinstance(payload, dict) and "idempotency_key" in payload:
+        payload = dict(payload)
+        idempotency_key = payload.pop("idempotency_key")
+        if not isinstance(idempotency_key, str) or not idempotency_key:
+            raise InvalidInputError("idempotency_key must be a non-empty string")
+    items = _items_payload(payload, "updates")
     updates = [GraphUpdate.coerce(item) for item in items]
-    receipt = gateway.apply_updates(updates)
+    receipt = gateway.apply_updates_idempotent(
+        updates, idempotency_key=idempotency_key
+    )
     return _json_response(
         200,
         {"receipt": receipt.to_dict(), "graph_version": receipt.version},

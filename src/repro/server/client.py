@@ -17,11 +17,14 @@ and, for 429/503, the server's ``Retry-After`` hint.
 
 from __future__ import annotations
 
+import email.utils
 import http.client
 import json
 import random
 import socket
 import time
+import uuid
+from datetime import datetime, timezone
 from typing import Iterable, List, Optional, Union
 
 from repro.api.query import Query, QueryBuilder
@@ -33,6 +36,32 @@ __all__ = ["ServerClient", "ServerError"]
 
 QueryLike = Union[Query, QueryBuilder, dict]
 UpdateLike = Union[GraphUpdate, tuple, dict]
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Seconds to wait from a ``Retry-After`` header, or ``None``.
+
+    RFC 9110 allows either non-negative delta-seconds or an HTTP-date;
+    both are accepted (a date in the past clamps to 0). Anything else —
+    a proxy mangling the header must not crash the client — reads as
+    absent rather than raising.
+    """
+    if value is None:
+        return None
+    text = value.strip()
+    try:
+        seconds = float(text)
+    except ValueError:
+        try:
+            when = email.utils.parsedate_to_datetime(text)
+        except (TypeError, ValueError):
+            return None
+        if when is None:
+            return None
+        if when.tzinfo is None:
+            when = when.replace(tzinfo=timezone.utc)
+        seconds = (when - datetime.now(timezone.utc)).total_seconds()
+    return max(0.0, seconds)
 
 
 class ServerError(ReproError):
@@ -125,6 +154,12 @@ class ServerClient:
         ``retries=N``, connection failures and 503 answers get up to N
         further attempts behind exponential backoff with jitter;
         everything else raises :class:`ServerError` straight away.
+
+        Replaying after a connection error is only safe because every
+        endpoint is either read-only or deduplicated: ``POST /update``
+        payloads carry the idempotency key :meth:`update` generates, so a
+        request whose connection died between the server-side apply and
+        the response replays to the original receipt, not a second apply.
         """
         body = None
         headers = dict(extra_headers or {})
@@ -151,10 +186,8 @@ class ServerClient:
                 continue
             if response.status == 503 and status_retries < self.retries:
                 status_retries += 1
-                hint = response.getheader("Retry-After")
-                time.sleep(self._retry_delay(
-                    status_retries, hint=None if hint is None else float(hint)
-                ))
+                hint = _parse_retry_after(response.getheader("Retry-After"))
+                time.sleep(self._retry_delay(status_retries, hint=hint))
                 continue
             break
         content_type = response.getheader("Content-Type", "")
@@ -164,12 +197,11 @@ class ServerClient:
             decoded = raw.decode("utf-8")
         if response.status >= 300:
             error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
-            retry_after = response.getheader("Retry-After")
             raise ServerError(
                 response.status,
                 error.get("type", "unknown"),
                 error.get("message", str(decoded)),
-                retry_after=None if retry_after is None else float(retry_after),
+                retry_after=_parse_retry_after(response.getheader("Retry-After")),
                 location=response.getheader("Location"),
             )
         return response.status, response, decoded
@@ -231,10 +263,24 @@ class ServerClient:
         _, _, decoded = self._request("POST", "/batch", payload)
         return decoded
 
-    def update(self, updates: Iterable[UpdateLike]) -> dict:
-        """``POST /update`` — apply graph edits; the receipt dict back."""
+    def update(
+        self,
+        updates: Iterable[UpdateLike],
+        idempotency_key: Optional[str] = None,
+    ) -> dict:
+        """``POST /update`` — apply graph edits; the receipt dict back.
+
+        Every call carries an ``idempotency_key`` (a fresh UUID unless the
+        caller pins one). ``POST /update`` is the one non-idempotent
+        endpoint, and the transport retries after *any* connection error —
+        including a connection that died after the server applied the
+        batch but before the response made it back. The key lets the
+        gateway recognise such a replay and return the original receipt
+        instead of applying the batch twice.
+        """
         payload = {
-            "updates": [GraphUpdate.coerce(item).to_dict() for item in updates]
+            "updates": [GraphUpdate.coerce(item).to_dict() for item in updates],
+            "idempotency_key": idempotency_key or uuid.uuid4().hex,
         }
         _, _, decoded = self._request("POST", "/update", payload)
         return decoded

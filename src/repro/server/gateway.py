@@ -31,8 +31,9 @@ import socket
 import sys
 import threading
 import time
+from collections import OrderedDict
 from http.server import ThreadingHTTPServer
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.api.query import Query
 from repro.api.response import QueryResponse
@@ -49,12 +50,24 @@ from repro.server.coalescer import (
 )
 from repro.version import __version__
 
-__all__ = ["CommunityGateway", "DEFAULT_HOST", "DEFAULT_PORT", "DEFAULT_MAX_BODY_BYTES"]
+__all__ = [
+    "CommunityGateway",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_MAX_BODY_BYTES",
+    "IDEMPOTENCY_CACHE_SIZE",
+]
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8437
 #: Request bodies past this size answer 413 before any JSON parsing.
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Receipts remembered for ``idempotency_key`` deduplication. A retrying
+#: client reuses its key within one connection's retry budget (seconds),
+#: so a small LRU bounds memory without ever evicting a live key in
+#: practice.
+IDEMPOTENCY_CACHE_SIZE = 1024
 
 
 class _GatewayHTTPServer(ThreadingHTTPServer):
@@ -174,6 +187,8 @@ class CommunityGateway:
         self._closed = threading.Event()
         self._request_counts: Dict[Tuple[str, str, int], int] = {}
         self._counts_lock = threading.Lock()
+        self._idempotency_lock = threading.Lock()
+        self._idempotency_receipts: "OrderedDict[str, UpdateReceipt]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -289,6 +304,35 @@ class CommunityGateway:
         subscribers after the durable apply.
         """
         return self.service.apply_updates(updates)
+
+    def apply_updates_idempotent(
+        self, updates: Iterable, idempotency_key: Optional[str] = None
+    ) -> UpdateReceipt:
+        """Apply a write batch at most once per client-supplied key.
+
+        ``POST /update`` routes through here. Without a key this is
+        exactly :meth:`apply_updates`. With one, the receipt of the first
+        successful apply is remembered in a bounded LRU
+        (:data:`IDEMPOTENCY_CACHE_SIZE` entries) and replayed verbatim to
+        any retry carrying the same key — so a client whose connection
+        died *after* the server applied the batch but *before* the
+        response arrived can retry safely instead of double-applying.
+        Failed applies cache nothing (the retry gets a fresh attempt),
+        and the check-apply-record sequence holds one lock so two racing
+        replays of the same key can never both apply.
+        """
+        if idempotency_key is None:
+            return self.apply_updates(updates)
+        with self._idempotency_lock:
+            cached = self._idempotency_receipts.get(idempotency_key)
+            if cached is not None:
+                self._idempotency_receipts.move_to_end(idempotency_key)
+                return cached
+            receipt = self.apply_updates(updates)
+            self._idempotency_receipts[idempotency_key] = receipt
+            while len(self._idempotency_receipts) > IDEMPOTENCY_CACHE_SIZE:
+                self._idempotency_receipts.popitem(last=False)
+            return receipt
 
     def extra_routes(self) -> Dict:
         """Additional ``(method, path) -> handler`` routes (roles override)."""

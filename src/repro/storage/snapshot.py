@@ -48,6 +48,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple, Union
 
 from repro.core.profiled_graph import ProfiledGraph
 from repro.errors import ReproError
+from repro.graph.csr import CSRGraph, active_backend
 from repro.graph.graph import Graph
 from repro.index.cltree import CLTree
 from repro.index.cptree import CPTree
@@ -416,6 +417,14 @@ def decode_payload(data: bytes, has_index: Optional[bool] = None) -> ProfiledGra
     graph = Graph.__new__(Graph)
     graph._adj = adjacency
     graph._num_edges = num_edges
+    # The snapshot's intern table and sorted edge array are exactly the
+    # inputs the CSR backend wants, so booting from disk pre-attaches the
+    # flat view instead of re-interning on the first hot query.
+    graph._csr = (
+        CSRGraph.from_sorted_edges(order, flat)
+        if active_backend() != "object"
+        else None
+    )
     # labels
     counts = r.u32_array()
     labels_flat = r.u32_array()

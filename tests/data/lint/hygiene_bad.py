@@ -1,5 +1,7 @@
 """Seeded api-hygiene violations (fixture — never imported)."""
 
+from typing import List
+
 __all__ = ["exported", "GHOST"]
 
 PUBLIC_CONSTANT = 1
@@ -8,6 +10,11 @@ PUBLIC_CONSTANT = 1
 def exported(items=[]):
     """VIOLATION on the signature: mutable default argument."""
     return items
+
+
+def _implicit(flag: int = None, items: List[str] = None):
+    """VIOLATIONS: None defaults contradicting non-Optional annotations."""
+    return flag, items
 
 
 def swallow():

@@ -1,8 +1,12 @@
 """Clean twin: honest __all__, safe defaults, handled exceptions."""
 
 import logging
+from typing import Optional, Union
 
 __all__ = ["PUBLIC_CONSTANT", "exported"]
+
+#: A nullable alias — the implicit-Optional rule must resolve it.
+IntLike = Union[int, None]
 
 PUBLIC_CONSTANT = 1
 
@@ -15,6 +19,16 @@ _log = logging.getLogger(__name__)
 def exported(items=None):
     """None default, mutable created inside — no finding."""
     return list(items or ())
+
+
+def _maybe(
+    flag: Optional[int] = None,
+    other: "int | None" = None,
+    seed: IntLike = None,
+    blob=None,
+):
+    """None defaults carried by nullable (or absent) annotations."""
+    return flag, other, seed, blob
 
 
 def _private_helper():

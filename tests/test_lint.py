@@ -137,9 +137,10 @@ class TestApiHygiene:
         assert "'PUBLIC_CONSTANT'" in messages  # defined but not exported
         assert "'swallow'" in messages  # also public-but-unlisted
         assert "mutable default" in messages
+        assert messages.count("does not admit it") == 2  # int / List[str] = None
         assert "bare 'except:'" in messages
         assert "silently swallows" in messages
-        assert len(report.findings) == 6
+        assert len(report.findings) == 8
 
     def test_silent_on_clean_twin(self):
         report = lint_one(DATA / "hygiene_clean.py", "api-hygiene")
@@ -306,7 +307,7 @@ class TestCli:
         ])
         assert code == 1
         doc = json.loads(out.read_text(encoding="utf-8"))
-        assert doc["summary"]["errors"] == 6
+        assert doc["summary"]["errors"] == 8
         stdout_doc = json.loads(capsys.readouterr().out)
         assert stdout_doc == doc
 

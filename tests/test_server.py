@@ -10,6 +10,7 @@ drain, and concurrent clients racing ``POST /update`` with every
 response's ``graph_version`` validated.
 """
 
+import email.utils
 import json
 import threading
 import time
@@ -20,7 +21,9 @@ import pytest
 from repro.api import CommunityService, Middleware, Query
 from repro.core import ALL_METHODS
 from repro.datasets import fig1_profiled_graph
+from repro.engine.updates import GraphUpdate
 from repro.errors import VertexNotFoundError
+from repro.server.client import _parse_retry_after
 from repro.server import (
     CoalescerClosedError,
     CommunityGateway,
@@ -653,3 +656,114 @@ class TestClientAndLifecycle:
         service = CommunityService(fig1_profiled_graph())
         with serving(service, warm=True):
             assert service.explorer.index_ready
+
+
+# ----------------------------------------------------------------------
+# client retry safety: non-idempotent replay and Retry-After parsing
+# ----------------------------------------------------------------------
+class TestRetrySafety:
+    def test_update_replay_after_connection_death_applies_once(self, monkeypatch):
+        """A POST /update whose connection dies after the server-side apply
+        but before the response must not double-apply on the client's
+        automatic replay — the idempotency key maps the retry back to the
+        original receipt."""
+        import repro.server.app as app_mod
+
+        original = app_mod.handle_request
+        killed = []
+
+        def dying(gateway, method, path, body):
+            response = original(gateway, method, path, body)
+            if path == "/update" and not killed:
+                killed.append(True)
+                # The handler thread dies before writing the response: the
+                # client sees the connection drop exactly between apply
+                # and acknowledgement.
+                raise ConnectionError("simulated death after apply")
+            return response
+
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            gateway._server.handle_error = lambda *args: None  # silence traceback
+            monkeypatch.setattr(app_mod, "handle_request", dying)
+            before = gateway.service.pg.version
+            # remove_vertex is the op whose keyless replay is loudest: the
+            # second apply would 404 (the vertex is already gone), so the
+            # old client surfaced an error for an update that succeeded —
+            # and an add_edge replay would report applied=0, corrupting
+            # the receipt. Both must now come back as the first apply.
+            receipt = client.update([("remove_vertex", "H"), ("add_edge", "A", "Z")])
+            assert killed, "the simulated connection death never fired"
+            assert receipt["receipt"]["applied"] == 2
+            assert gateway.service.pg.version == before + 2
+            assert receipt["graph_version"] == before + 2
+
+    def test_same_key_replay_returns_original_receipt(self):
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            before = gateway.service.pg.version
+            first = client.update([("add_edge", "A", "J")], idempotency_key="k-1")
+            replay = client.update([("add_edge", "A", "J")], idempotency_key="k-1")
+            assert replay == first
+            assert gateway.service.pg.version == before + 1
+            # A fresh key is a fresh batch (the edge exists, so no-op receipt).
+            other = client.update([("add_edge", "A", "J")], idempotency_key="k-2")
+            assert other["receipt"]["applied"] == 0
+
+    def test_idempotency_key_must_be_a_nonempty_string(self):
+        gateway = CommunityGateway(fig1_profiled_graph(), port=0)
+        for bad in ("", 7, None, ["x"]):
+            body = json.dumps(
+                {"updates": [{"op": "add_edge", "u": "A", "v": "J"}],
+                 "idempotency_key": bad}
+            ).encode()
+            response = handle_request(gateway, "POST", "/update", body)
+            assert response.status == 400, bad
+
+    def test_receipt_cache_is_bounded(self, monkeypatch):
+        import repro.server.gateway as gateway_mod
+
+        monkeypatch.setattr(gateway_mod, "IDEMPOTENCY_CACHE_SIZE", 2)
+        gateway = CommunityGateway(fig1_profiled_graph(), port=0)
+        for i in range(3):
+            gateway.apply_updates_idempotent(
+                [GraphUpdate.coerce(("add_vertex", f"N{i}"))],
+                idempotency_key=f"key-{i}",
+            )
+        assert list(gateway._idempotency_receipts) == ["key-1", "key-2"]
+
+    def test_retry_after_parses_both_rfc_forms(self):
+        assert _parse_retry_after(None) is None
+        assert _parse_retry_after("2.5") == 2.5
+        assert _parse_retry_after(" 0 ") == 0.0
+        assert _parse_retry_after("-3") == 0.0  # clamp, never negative sleep
+        future = email.utils.formatdate(time.time() + 60, usegmt=True)
+        parsed = _parse_retry_after(future)
+        assert parsed is not None and 30 < parsed <= 61
+        past = email.utils.formatdate(time.time() - 60, usegmt=True)
+        assert _parse_retry_after(past) == 0.0
+        # Unparseable values read as absent — the old float() crashed here.
+        for garbage in ("soon", "Wed, 99 Nonsense", "1e", ""):
+            assert _parse_retry_after(garbage) is None
+
+    def test_http_date_retry_after_reaches_server_error(self, monkeypatch):
+        """A 429 whose Retry-After is an HTTP-date must surface as seconds
+        on the ServerError instead of crashing the client."""
+        import repro.server.app as app_mod
+
+        original = app_mod.handle_request
+        stamp = email.utils.formatdate(time.time() + 30, usegmt=True)
+
+        def dated(gateway, method, path, body):
+            response = original(gateway, method, path, body)
+            if path == "/query":
+                return app_mod._error(
+                    429, "queue_full", "busy", headers=(("Retry-After", stamp),)
+                )
+            return response
+
+        with serving(fig1_profiled_graph()) as (gateway, client):
+            monkeypatch.setattr(app_mod, "handle_request", dated)
+            with pytest.raises(ServerError) as excinfo:
+                client.query(Query(vertex="D", k=2))
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert 0 < excinfo.value.retry_after <= 31
