@@ -1,0 +1,302 @@
+"""Standing subscriptions — re-evaluation selectivity and push latency.
+
+The continuous-query PR's acceptance benchmark. A **label-partitioned**
+workload is the shape the dirty-label matcher exists for: ``P`` disjoint
+clique communities, each themed with its own taxonomy branch, one
+standing subscription watching each. Every edit batch churns a vertex in
+exactly one partition, so a perfect matcher re-evaluates exactly one of
+``P`` subscriptions per batch (selectivity ``1/P``) and a naive one
+re-runs all of them (selectivity 1.0 — what the root label would cause
+without the footprint refinement in :mod:`repro.subscribe.matcher`).
+
+Asserted:
+
+* **correctness first** — every pushed diff, composed onto the
+  subscriber's running membership, equals a full recompute of the
+  standing query at the diff's ``graph_version``; the timing below is
+  meaningless if the short-circuit changes answers, so this runs before
+  the gates;
+* **selectivity** — re-evaluations per batch ≤ :data:`MAX_SELECTIVITY`
+  of registered subscriptions (the ISSUE's ≤0.5 acceptance floor; the
+  expected value here is ``1/P``);
+* **push latency** — p95 from the moment a writer submits a batch to the
+  moment the affected subscriber *holds* the diff (consumer dequeue,
+  crossing the engine hook and the bounded queue) stays under
+  :data:`MAX_P95_PUSH_MS`.
+
+Reported: selectivity, re-evaluations/batch, p50/p95 push latency, diffs
+verified. JSON artifact lands in ``results/subscription_latency*.json``.
+
+Runs two ways, like the other acceptance benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_subscription_latency.py --smoke
+    PYTHONPATH=src python benchmarks/bench_subscription_latency.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import CommunityService, Subscription
+from repro.bench import Table, save_tables, smoke_mode
+from repro.core.profiled_graph import ProfiledGraph
+from repro.graph import Graph
+from repro.ptree import Taxonomy
+from repro.subscribe import SubscriptionManager
+
+#: Acceptance ceiling on matcher selectivity (fraction of subscriptions
+#: re-evaluated per batch). The partitioned workload's ideal is 1/P.
+MAX_SELECTIVITY = 0.5
+
+#: Acceptance ceiling on p95 writer-to-subscriber push latency. Pure
+#: Python re-evaluating one clique community: generous on any CI host.
+MAX_P95_PUSH_MS = 500.0
+
+#: Community size per partition (a clique; k=2 keeps it cohesive under
+#: single-vertex churn).
+CLIQUE = 4
+
+K = 2
+
+
+def partitions() -> int:
+    return 4 if smoke_mode() else 8
+
+def churn_rounds() -> int:
+    return 12 if smoke_mode() else 48
+
+
+def build_partitioned_graph(num_partitions: int) -> ProfiledGraph:
+    """``P`` disjoint cliques, partition ``i`` themed with label ``Pi``."""
+    tax = Taxonomy(root_name="r")
+    for i in range(num_partitions):
+        tax.add(f"P{i}")
+    edges = []
+    profiles = {}
+    for i in range(num_partitions):
+        members = [f"v{i}_{j}" for j in range(CLIQUE)]
+        for a in range(CLIQUE):
+            for b in range(a + 1, CLIQUE):
+                edges.append((members[a], members[b]))
+        for m in members:
+            profiles[m] = (f"P{i}",)
+    return ProfiledGraph(Graph(edges), tax, profiles)
+
+
+def _recompute(service: CommunityService, sub: Subscription) -> frozenset:
+    result = service.explorer.explore(sub.vertex, k=sub.k)
+    members: set = set()
+    for community in result.communities:
+        members |= community.vertices
+    return frozenset(members)
+
+
+class _Receiver(threading.Thread):
+    """Drains one subscription's consumer, timestamping every dequeue."""
+
+    def __init__(self, manager: SubscriptionManager, sub_id: str) -> None:
+        super().__init__(name=f"receiver-{sub_id[:6]}", daemon=True)
+        self.consumer = manager.consumer(sub_id, last_event_id=1)
+        self.received = []  # (CommunityDiff, perf_counter at dequeue)
+        self.start()
+
+    def run(self) -> None:
+        while True:
+            batch = self.consumer.next_batch(timeout=1.0)
+            if batch is None:
+                return
+            now = time.perf_counter()
+            for diff in batch:
+                self.received.append((diff, now))
+
+
+def measure(num_partitions: int, rounds: int) -> dict:
+    pg = build_partitioned_graph(num_partitions)
+    service = CommunityService(pg, default_k=K, cache_size=None)
+    manager = SubscriptionManager(service, event_log_size=rounds + 8)
+    subs = []
+    try:
+        for i in range(num_partitions):
+            sub = Subscription.new(f"v{i}_0", k=K)
+            manager.register(sub)
+            subs.append(sub)
+        receivers = [_Receiver(manager, sub.id) for sub in subs]
+        composed = {
+            sub.id: frozenset(manager.members(sub.id)) for sub in subs
+        }
+
+        push_latencies = []
+        verified = 0
+        for round_no in range(rounds):
+            target = round_no % num_partitions
+            churn = f"churn{target}"
+            if (round_no // num_partitions) % 2 == 0:
+                batch = [
+                    {"op": "add_vertex", "u": churn, "labels": [f"P{target}"]},
+                ] + [
+                    {"op": "add_edge", "u": churn, "v": f"v{target}_{j}"}
+                    for j in range(CLIQUE - 1)
+                ]
+            else:
+                batch = [{"op": "remove_vertex", "u": churn}]
+            receiver = receivers[target]
+            already = len(receiver.received)
+            t0 = time.perf_counter()
+            service.apply_updates(batch)
+            # The churn always changes the target partition's watched set,
+            # so its subscriber must receive exactly one new diff.
+            deadline = time.monotonic() + 10.0
+            while len(receiver.received) <= already:
+                if time.monotonic() > deadline:  # pragma: no cover - hang guard
+                    raise AssertionError(
+                        f"round {round_no}: diff never reached the subscriber"
+                    )
+                time.sleep(0.0005)
+            diff, received_at = receiver.received[already]
+            push_latencies.append((received_at - t0) * 1000.0)
+
+            # Trust nothing until the diff equals a full recompute at the
+            # version it claims — the graph only moves on this thread, so
+            # the engine still sits at diff.graph_version right now.
+            assert diff.graph_version == service.pg.version
+            sub = subs[target]
+            composed[sub.id] = diff.apply_to(composed[sub.id])
+            assert composed[sub.id] == _recompute(service, sub), (
+                f"round {round_no}: composed diff diverges from full "
+                f"recompute at version {diff.graph_version}"
+            )
+            verified += 1
+
+        # Untouched subscriptions must still be exact (they were skipped,
+        # not forgotten) — and nobody received a diff they shouldn't have.
+        for sub in subs:
+            assert manager.members(sub.id) == _recompute(service, sub)
+        total_diffs = sum(len(r.received) for r in receivers)
+        assert total_diffs == rounds, (
+            f"expected one diff per churn round, saw {total_diffs}"
+        )
+
+        stats = manager.stats()
+        matcher = stats["matcher"]
+        push_latencies.sort()
+
+        def pct(fraction: float) -> float:
+            index = min(len(push_latencies) - 1, int(fraction * len(push_latencies)))
+            return push_latencies[index]
+
+        return {
+            "partitions": num_partitions,
+            "subscriptions": len(subs),
+            "rounds": rounds,
+            "reevaluations": stats["reevaluations"],
+            "reevaluations_per_batch": stats["reevaluations"] / rounds,
+            "selectivity": matcher["selectivity"],
+            "ideal_selectivity": 1.0 / num_partitions,
+            "diffs_verified": verified,
+            "p50_push_ms": pct(0.50),
+            "p95_push_ms": pct(0.95),
+            "max_push_ms": push_latencies[-1],
+        }
+    finally:
+        manager.close()
+        service.close()
+
+
+def _render(report: dict) -> Table:
+    table = Table(
+        "Standing subscriptions — dirty-label selectivity and push latency "
+        f"({report['partitions']} label partitions)",
+        ["subs", "rounds", "re-evals/batch", "selectivity",
+         "p50 push ms", "p95 push ms", "diffs verified"],
+    )
+    table.add_row(
+        report["subscriptions"],
+        report["rounds"],
+        round(report["reevaluations_per_batch"], 2),
+        round(report["selectivity"], 4),
+        round(report["p50_push_ms"], 2),
+        round(report["p95_push_ms"], 2),
+        report["diffs_verified"],
+    )
+    return table
+
+
+def _check(report: dict) -> list:
+    failures = []
+    if report["diffs_verified"] != report["rounds"]:
+        failures.append(
+            f"only {report['diffs_verified']}/{report['rounds']} pushed "
+            f"diffs were verified against a full recompute"
+        )
+    if report["selectivity"] > MAX_SELECTIVITY:
+        failures.append(
+            f"matcher re-evaluated {report['selectivity']:.2%} of "
+            f"subscriptions per batch (gate ≤ {MAX_SELECTIVITY:.0%}; the "
+            f"partitioned ideal is {report['ideal_selectivity']:.2%})"
+        )
+    if report["p95_push_ms"] > MAX_P95_PUSH_MS:
+        failures.append(
+            f"p95 push latency {report['p95_push_ms']:.1f} ms exceeds "
+            f"{MAX_P95_PUSH_MS:.0f} ms"
+        )
+    return failures
+
+
+@pytest.mark.smoke
+@pytest.mark.subscriptions
+def test_subscription_latency():
+    """Selectivity ≤ 0.5 and bounded push latency, every diff verified."""
+    report = measure(partitions(), churn_rounds())
+    table = _render(report)
+    table.show()
+    name = "subscription_latency_smoke" if smoke_mode() else "subscription_latency"
+    save_tables(name, [table], extra={"measurements": report})
+    failures = _check(report)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None) -> int:
+    """Standalone entry point (used by the CI benchmark-smoke job)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI fast path")
+    parser.add_argument("--partitions", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="results name (default subscription_latency[_smoke])")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        import os
+
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+
+    report = measure(
+        args.partitions or partitions(), args.rounds or churn_rounds()
+    )
+    table = _render(report)
+    table.show()
+    name = args.out or (
+        "subscription_latency_smoke" if smoke_mode() else "subscription_latency"
+    )
+    path = save_tables(name, [table], extra={"measurements": report})
+    print(f"\nwrote {path}")
+
+    failures = _check(report)
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"OK: selectivity {report['selectivity']:.2%} "
+        f"(ideal {report['ideal_selectivity']:.2%}), "
+        f"p95 push {report['p95_push_ms']:.1f} ms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

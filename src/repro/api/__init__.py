@@ -36,6 +36,8 @@ _EXPORTS = {
     "PlanDecision": ("repro.api.planner", "PlanDecision"),
     "BatchPlan": ("repro.api.planner", "BatchPlan"),
     "Engine": ("repro.api.protocol", "Engine"),
+    "Subscription": ("repro.api.subscription", "Subscription"),
+    "CommunityDiff": ("repro.api.subscription", "CommunityDiff"),
     "CommunityService": ("repro.api.service", "CommunityService"),
     "Middleware": ("repro.api.service", "Middleware"),
     "ValidationMiddleware": ("repro.api.service", "ValidationMiddleware"),

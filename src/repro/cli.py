@@ -54,6 +54,12 @@ then, from any HTTP client::
 
     curl -s localhost:8437/healthz
     curl -s -X POST localhost:8437/query -d '{"vertex": 17, "k": 6}'
+
+Watch a community continuously — a standing subscription whose pushed
+diffs (joined/left members, tagged with the exact graph version) print
+as JSON lines until Ctrl-C::
+
+    python -m repro subscribe --url http://localhost:8437 --vertex 17 --k 6
 """
 
 from __future__ import annotations
@@ -266,6 +272,65 @@ def cmd_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_subscribe(args: argparse.Namespace) -> int:
+    """``repro subscribe``: a standing query against a server, diffs on stdout.
+
+    Registers the query (or resumes an existing subscription with
+    ``--id``/``--last-event-id``) and prints one JSON line per pushed
+    :class:`~repro.api.subscription.CommunityDiff` until interrupted or
+    ``--max-events`` is reached. The subscription itself stays registered
+    on exit — it is *standing*; drop it with ``--drop ID``.
+    """
+    from repro.replication.replica import parse_http_url
+    from repro.server.client import ServerClient, ServerError
+
+    host, port = parse_http_url(args.url)
+    client = ServerClient(host, port, retries=args.retries)
+    try:
+        if args.drop:
+            client.unsubscribe(args.drop)
+            print(f"unsubscribed {args.drop}", flush=True)
+            return 0
+        if args.id:
+            sub_id = args.id
+            cursor = args.last_event_id or 0
+        else:
+            if args.vertex is None:
+                print("error: --vertex (or --id / --drop) is required",
+                      file=sys.stderr)
+                return 2
+            token = args.vertex
+            # Remote graphs are not loadable here; mirror the int-vertex
+            # convention of the generated datasets by heuristic.
+            vertex = int(token) if token.lstrip("-").isdigit() else token
+            sub, snapshot = client.subscribe(
+                vertex,
+                k=args.k,
+                method=_method_arg(args.method),
+                cohesion=args.cohesion,
+            )
+            print(json.dumps({"subscribed": sub.to_dict()}), flush=True)
+            print(json.dumps(snapshot.to_dict()), flush=True)
+            sub_id = sub.id
+            cursor = snapshot.event_id
+        delivered = 0
+        try:
+            for diff in client.subscribe_stream(sub_id, last_event_id=cursor):
+                print(json.dumps(diff.to_dict()), flush=True)
+                delivered += 1
+                if args.max_events and delivered >= args.max_events:
+                    break
+        except KeyboardInterrupt:
+            print(f"\nstream closed; resume with --id {sub_id}",
+                  file=sys.stderr, flush=True)
+        return 0
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
 def cmd_bench_engine(args: argparse.Namespace) -> int:
     """``repro bench-engine``: cold vs warm engine throughput."""
     from repro.bench import make_workload, measure_cold_warm, measure_facade_overhead
@@ -410,8 +475,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {what} at http://{host}:{port} "
               f"(role: {gateway.role}, coalescing: {mode}, "
               f"workers: {args.parallel or 1})", flush=True)
-        print("endpoints: POST /query /batch /update · GET /healthz /stats /metrics",
-              flush=True)
+        print("endpoints: POST /query /batch /update /subscribe · "
+              "GET /healthz /stats /metrics", flush=True)
         report = service.boot_report
         if report is not None:
             print(f"data-dir {args.data_dir}: booted from {report.source} at "
@@ -703,6 +768,34 @@ def build_parser() -> argparse.ArgumentParser:
                          "waits for a caught-up replica before 503 "
                          "(default 2s)")
     sv.set_defaults(func=cmd_serve)
+
+    sb = sub.add_parser(
+        "subscribe",
+        help="standing query against a running server; pushed diffs on stdout",
+    )
+    sb.add_argument("--url", default="http://127.0.0.1:8437",
+                    help="base URL of the serving gateway (any role but router)")
+    sb.add_argument("--vertex", help="query vertex to watch (registers a new "
+                                     "subscription)")
+    sb.add_argument("--k", type=int, default=None, help="minimum degree bound")
+    sb.add_argument("--method", default="auto",
+                    choices=("auto",) + tuple(ALL_METHODS))
+    sb.add_argument("--cohesion", default=None,
+                    help="cohesion model name (server default when omitted)")
+    sb.add_argument("--id", default=None,
+                    help="resume an existing subscription instead of "
+                         "registering one")
+    sb.add_argument("--last-event-id", dest="last_event_id", type=int,
+                    default=None, metavar="N",
+                    help="resume cursor for --id (default 0 = from the start "
+                         "of the retained window)")
+    sb.add_argument("--drop", default=None, metavar="ID",
+                    help="unsubscribe this id and exit")
+    sb.add_argument("--max-events", dest="max_events", type=int, default=None,
+                    metavar="N", help="exit after N pushed diffs")
+    sb.add_argument("--retries", type=int, default=5,
+                    help="stream reconnect budget (default 5)")
+    sb.set_defaults(func=cmd_subscribe)
 
     cl = sub.add_parser(
         "cluster",

@@ -91,6 +91,7 @@ class ProfiledGraph:
         "_ptree_cache",
         "_version",
         "_journal",
+        "_taps",
         "_maintenance_seconds",
         "_repairs",
     )
@@ -118,6 +119,7 @@ class ProfiledGraph:
         self._ptree_cache: Dict[Vertex, PTree] = {}
         self._version = 0
         self._journal = UpdateJournal()
+        self._taps: list = []
         self._maintenance_seconds = 0.0
         self._repairs = 0
 
@@ -208,6 +210,36 @@ class ProfiledGraph:
         # index() call builds from scratch anyway.
         return self._index is not None
 
+    def _journals(self) -> list:
+        """Every journal the next mutation must record into.
+
+        The index journal participates only while an index exists (see
+        :meth:`_journaling`); attached tap journals record *always* — their
+        consumers (per-batch damage snapshots for subscription matching)
+        need the damage even on index-free graphs.
+        """
+        if self._journaling():
+            return [self._journal, *self._taps]
+        return list(self._taps)
+
+    def attach_journal(self, journal: UpdateJournal) -> UpdateJournal:
+        """Attach a tap journal that records every subsequent mutation.
+
+        Unlike the internal index journal, a tap is never gated on an
+        index being built and is never cleared by :meth:`index` — the
+        attacher owns its lifecycle and must :meth:`detach_journal` it.
+        Returns the journal for chaining.
+        """
+        self._taps.append(journal)
+        return journal
+
+    def detach_journal(self, journal: UpdateJournal) -> None:
+        """Detach a tap journal previously passed to :meth:`attach_journal`."""
+        try:
+            self._taps.remove(journal)
+        except ValueError:
+            pass  # already detached; idempotent by design
+
     def add_vertex(self, v: Vertex, profile: object = (), validate: bool = True) -> bool:
         """Add vertex ``v`` with an optional profile; False if it exists.
 
@@ -219,8 +251,8 @@ class ProfiledGraph:
         closed = self._coerce_profile(profile, validate)
         self.graph.add_vertex(v)
         self._labels[v] = closed
-        if self._journaling():
-            self._journal.record_vertex_added(v, closed)
+        for journal in self._journals():
+            journal.record_vertex_added(v, closed)
         self._bump()
         return True
 
@@ -237,11 +269,11 @@ class ProfiledGraph:
         labels = self._labels.pop(v, frozenset())
         self.graph.remove_vertex(v)
         self._ptree_cache.pop(v, None)
-        if self._journaling():
+        for journal in self._journals():
             # Removing v only perturbs the subgraphs of labels v carries:
             # a lost edge {v, w} lies inside label t's subgraph only when
             # both endpoints carry t, and t ∈ T(v) then.
-            self._journal.record_vertex_removed(v, labels)
+            journal.record_vertex_removed(v, labels)
         self._bump()
         return True
 
@@ -259,11 +291,11 @@ class ProfiledGraph:
             if w not in self.graph:
                 self.graph.add_vertex(w)
                 self._labels[w] = empty
-                if self._journaling():
-                    self._journal.record_vertex_added(w, empty)
+                for journal in self._journals():
+                    journal.record_vertex_added(w, empty)
         self.graph.add_edge(u, v)
-        if self._journaling():
-            self._journal.record_edge(self._labels[u], self._labels[v])
+        for journal in self._journals():
+            journal.record_edge(self._labels[u], self._labels[v])
         self._bump()
         return True
 
@@ -272,8 +304,8 @@ class ProfiledGraph:
         if not self.graph.has_edge(u, v):
             return False
         self.graph.remove_edge(u, v)
-        if self._journaling():
-            self._journal.record_edge(self._labels[u], self._labels[v])
+        for journal in self._journals():
+            journal.record_edge(self._labels[u], self._labels[v])
         self._bump()
         return True
 
@@ -286,6 +318,8 @@ class ProfiledGraph:
         invalidate too.
         """
         self._journal.mark_all()
+        for tap in self._taps:
+            tap.mark_all()
         self._bump()
 
     def set_profile(self, v: Vertex, profile: object, validate: bool = True) -> bool:
@@ -304,8 +338,8 @@ class ProfiledGraph:
             return False
         self._labels[v] = new
         self._ptree_cache.pop(v, None)
-        if self._journaling():
-            self._journal.record_profile_change(v, old, new)
+        for journal in self._journals():
+            journal.record_profile_change(v, old, new)
         self._bump()
         return True
 

@@ -52,6 +52,7 @@ from repro.errors import InvalidInputError, VertexNotFoundError
 from repro.graph.csr import active_backend
 from repro.index.cltree import CLTree
 from repro.index.cptree import CPTree
+from repro.index.maintenance import BatchDamage, UpdateJournal
 
 Vertex = Hashable
 
@@ -261,6 +262,10 @@ class CommunityExplorer:
         # Reentrant: the version-stable fallback computes while holding it,
         # and the computation's index() call re-acquires.
         self._index_lock = threading.RLock()
+        # Post-update hooks: called as hook(receipt, damage) at the end of
+        # every apply_updates batch, inside the mutation lock (see
+        # add_update_hook). List mutations happen under the same lock.
+        self._update_hooks: List = []
 
     # ------------------------------------------------------------------
     # index ownership
@@ -338,6 +343,30 @@ class CommunityExplorer:
         called while holding it.
         """
         return self._index_lock
+
+    def add_update_hook(self, hook) -> None:
+        """Register ``hook(receipt, damage)`` to run after every update batch.
+
+        Called at the end of :meth:`apply_updates` — after the edits landed
+        and the index repaired, *inside* the mutation lock — with the
+        batch's :class:`~repro.engine.updates.UpdateReceipt` and a
+        :class:`~repro.index.maintenance.BatchDamage` snapshot of exactly
+        what the batch touched. Because the lock is held, the graph is
+        guaranteed to sit at ``receipt.version`` for the hook's whole run;
+        hooks may issue queries (the lock is reentrant on this thread) but
+        must not apply further updates. Exceptions propagate to the
+        updater, so hooks that serve third parties should catch their own.
+        """
+        with self._index_lock:
+            self._update_hooks.append(hook)
+
+    def remove_update_hook(self, hook) -> None:
+        """Deregister a hook added with :meth:`add_update_hook` (idempotent)."""
+        with self._index_lock:
+            try:
+                self._update_hooks.remove(hook)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # querying
@@ -613,19 +642,36 @@ class CommunityExplorer:
         start = time.perf_counter()
         applied = 0
         with self._index_lock:
-            # Maintain the shared core index only when it is current: edits
-            # made directly through the ProfiledGraph API (also supported)
-            # moved the version past it, so patching from that stale base
-            # would silently lose them — drop it and let cltree() re-seed.
-            maintain_cores = (
-                self._cores is not None and self._cores_version == self.pg.version
-            )
-            if not maintain_cores:
-                self._cores = None
-            for op in ops:
-                applied += 1 if self._apply_one_locked(op, maintain_cores) else 0
-            if maintain_cores:
-                self._cores_version = self.pg.version
+            hooks = list(self._update_hooks)
+            # Tap the batch's damage only when someone listens: the tap
+            # records unconditionally (unlike the index journal, which is
+            # gated on a built index), so subscription matching sees the
+            # dirty labels even on index-free graphs.
+            tap = UpdateJournal() if hooks else None
+            if tap is not None:
+                self.pg.attach_journal(tap)
+            try:
+                # Maintain the shared core index only when it is current:
+                # edits made directly through the ProfiledGraph API (also
+                # supported) moved the version past it, so patching from
+                # that stale base would silently lose them — drop it and
+                # let cltree() re-seed.
+                maintain_cores = (
+                    self._cores is not None and self._cores_version == self.pg.version
+                )
+                if not maintain_cores:
+                    self._cores = None
+                for op in ops:
+                    applied += 1 if self._apply_one_locked(op, maintain_cores) else 0
+                if maintain_cores:
+                    self._cores_version = self.pg.version
+                # Snapshot before the repair path runs: index() clears the
+                # *index* journal (taps survive), but freezing here keeps
+                # the snapshot independent of repair-side behaviour.
+                damage = None if tap is None else BatchDamage.from_journal(tap)
+            finally:
+                if tap is not None:
+                    self.pg.detach_journal(tap)
             repaired_labels = 0
             if repair and self.pg.has_index():
                 repaired_labels = self.pg.pending_repair_labels
@@ -636,17 +682,23 @@ class CommunityExplorer:
             # layer compares it against its predicted version for the
             # integrity check, so a torn read here is a false alarm there).
             version = self.pg.version
-        elapsed = time.perf_counter() - start
+            receipt = UpdateReceipt(
+                requested=len(ops),
+                applied=applied,
+                version=version,
+                repaired_labels=repaired_labels,
+                seconds=time.perf_counter() - start,
+            )
+            # Hooks run inside the mutation lock so the graph is exactly at
+            # receipt.version while they look — re-entrant queries on this
+            # thread (the lock is an RLock) see a settled graph, and diffs
+            # they derive are exact at that version by construction.
+            for hook in hooks:
+                hook(receipt, damage)
         with self._counters.lock:
             self._counters.updates_applied += applied
-            self._counters.maintenance_seconds += elapsed
-        return UpdateReceipt(
-            requested=len(ops),
-            applied=applied,
-            version=version,
-            repaired_labels=repaired_labels,
-            seconds=elapsed,
-        )
+            self._counters.maintenance_seconds += receipt.seconds
+        return receipt
 
     def _apply_one_locked(self, op: GraphUpdate, maintain_cores: bool) -> bool:
         pg = self.pg

@@ -34,6 +34,7 @@ fall back to a full rebuild (``ProfiledGraph.index(rebuild=True)``), which
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
 
 from repro.graph.graph import Graph
@@ -42,6 +43,42 @@ from repro.index.cptree import CPNode, CPTree, ptree_leaves
 
 Vertex = Hashable
 NodeSet = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class BatchDamage:
+    """An immutable snapshot of one edit batch's journaled damage.
+
+    :class:`UpdateJournal` is a mutable accumulator that the index repair
+    clears; consumers that outlive the repair — the subscription matcher
+    intersects these sets with standing queries' label footprints — take a
+    frozen copy instead. ``dirty_labels`` are the taxonomy node ids whose
+    induced subgraphs may have changed, ``touched`` the vertices whose
+    membership or profile may have changed, ``removed`` the vertices
+    dropped from the graph, and ``full`` means the journal could not
+    express the damage (consumers must assume everything changed).
+    """
+
+    dirty_labels: FrozenSet[int] = frozenset()
+    touched: FrozenSet[Vertex] = frozenset()
+    removed: FrozenSet[Vertex] = frozenset()
+    full: bool = False
+
+    @classmethod
+    def from_journal(cls, journal: "UpdateJournal") -> "BatchDamage":
+        """Freeze ``journal``'s current state (the journal keeps recording)."""
+        touched: Set[Vertex] = set(journal.reprofiled)
+        for vertices in journal.touched.values():
+            touched |= vertices
+        return cls(
+            dirty_labels=frozenset(journal.dirty_labels),
+            touched=frozenset(touched),
+            removed=frozenset(journal.dropped),
+            full=journal.full,
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.full or self.dirty_labels or self.touched or self.removed)
 
 
 class UpdateJournal:

@@ -15,10 +15,11 @@ rank  packages (a package may eagerly import only lower ranks)
 5     ``engine``
 6     ``storage``
 7     ``api``, ``parallel``
-8     ``bench``, ``server``
-9     ``replication``
-10    ``cli``
-11    ``repro`` (the root ``__init__``/``__main__``)
+8     ``bench``, ``subscribe``
+9     ``server``
+10    ``replication``
+11    ``cli``
+12    ``repro`` (the root ``__init__``/``__main__``)
 ====  =====================================================
 
 Only *eager* imports count: module-level ``import``/``from`` statements,
@@ -68,10 +69,11 @@ DEFAULT_LAYERS: Dict[str, int] = {
     "api": 7,
     "parallel": 7,
     "bench": 8,
-    "server": 8,
-    "replication": 9,
-    "cli": 10,
-    "repro": 11,
+    "subscribe": 8,
+    "server": 9,
+    "replication": 10,
+    "cli": 11,
+    "repro": 12,
 }
 
 

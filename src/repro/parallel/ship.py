@@ -70,6 +70,7 @@ def ship_graph(pg: ProfiledGraph) -> bytes:
         clone._ptree_cache = {}
         clone._version = pg.version
         clone._journal = UpdateJournal()
+        clone._taps = []
         clone._maintenance_seconds = 0.0
         clone._repairs = 0
         return _TAG_PICKLE + pickle.dumps(clone, protocol=PICKLE_PROTOCOL)

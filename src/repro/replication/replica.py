@@ -202,6 +202,11 @@ class ReplicaGateway(CommunityGateway):
             _no_local_seed, storage_dir=self._data_dir, **self._service_opts
         )
         self.service = service
+        # Standing subscriptions survive the swap: re-hook the new engine
+        # and emit one catch-up diff per subscription whose answer moved
+        # across the resync (the freshly fetched snapshot may be many
+        # versions ahead of the last evaluated one).
+        self.subscriptions.rebind(service)
         if old_coalescer is not None:
             self.coalescer = RequestCoalescer(
                 service,

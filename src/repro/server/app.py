@@ -23,6 +23,25 @@ Routes
     :class:`~repro.engine.updates.UpdateReceipt` out. Applied through the
     mutation-safe engine path (versioned cache invalidation + incremental
     index repair).
+``POST /subscribe``
+    Register a standing query (:class:`~repro.api.subscription.Subscription`
+    payload); answers the subscription (with its server-assigned id when
+    the client sent none) plus the ``reset`` snapshot diff — event id 1,
+    the baseline every later diff composes onto.
+``POST /unsubscribe``
+    ``{"id": ...}``; drops the standing query, ending its streams.
+``POST /subscribe/poll``
+    ``{"id", "last_event_id"?, "timeout"?}`` — long-poll for diffs after
+    ``last_event_id``, blocking up to ``timeout`` seconds (bounded by
+    :data:`MAX_POLL_TIMEOUT`). An id behind the retained window answers a
+    single ``reset`` re-baseline diff.
+``POST /subscribe/stream``
+    ``{"id", "last_event_id"?}`` — Server-Sent Events stream of diffs
+    (``id:``/``event: diff``/``data:`` frames, ``: keepalive`` comments
+    while idle). The resume cursor rides in the body because routing is
+    header-free; semantics match SSE's ``Last-Event-ID``. A consumer that
+    stops reading is evicted: the stream ends with one ``event: error``
+    frame typed ``slow_consumer``.
 ``GET /healthz``, ``GET /stats``, ``GET /metrics``
     Liveness, JSON counters, Prometheus text.
 
@@ -41,9 +60,11 @@ from http.server import BaseHTTPRequestHandler
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.api.query import Query
+from repro.api.subscription import Subscription
 from repro.engine.updates import GraphUpdate
 from repro.errors import InvalidInputError, ReproError, VertexNotFoundError
 from repro.server.coalescer import CoalescerClosedError, QueueFullError
+from repro.subscribe import SlowConsumerError, SubscriptionNotFoundError
 from repro.version import __version__
 
 __all__ = [
@@ -53,6 +74,8 @@ __all__ = [
     "ROUTES",
     "UNKNOWN_ENDPOINT",
     "VERSION_HEADER",
+    "MAX_POLL_TIMEOUT",
+    "DEFAULT_POLL_TIMEOUT",
     "WriteRedirectError",
     "endpoint_label",
     "normalize_path",
@@ -61,6 +84,14 @@ __all__ = [
 _JSON = "application/json"
 #: Prometheus text exposition format.
 _METRICS_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+#: Server-Sent Events.
+_SSE = "text/event-stream; charset=utf-8"
+
+#: Ceiling on a ``/subscribe/poll`` block — long enough to amortise the
+#: round trip, short enough that a vanished client frees its handler
+#: thread promptly.
+MAX_POLL_TIMEOUT = 60.0
+DEFAULT_POLL_TIMEOUT = 25.0
 
 
 @dataclass(frozen=True)
@@ -185,6 +216,125 @@ def _handle_update(gateway, body: bytes) -> HttpResponse:
     )
 
 
+def _require_object(payload, what: str) -> dict:
+    if not isinstance(payload, dict):
+        raise InvalidInputError(
+            f"{what} payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _subscription_ref(payload: dict) -> Tuple[str, Optional[int]]:
+    """``(id, last_event_id)`` out of a poll/stream/unsubscribe payload."""
+    sub_id = payload.get("id")
+    if not isinstance(sub_id, str) or not sub_id:
+        raise InvalidInputError("'id' must be a non-empty subscription id string")
+    last_event_id = payload.get("last_event_id")
+    if last_event_id is not None:
+        if not isinstance(last_event_id, int) or isinstance(last_event_id, bool):
+            raise InvalidInputError(
+                f"'last_event_id' must be an integer, got {last_event_id!r}"
+            )
+        if last_event_id < 0:
+            raise InvalidInputError("'last_event_id' must be >= 0")
+    return sub_id, last_event_id
+
+
+def _handle_subscribe(gateway, body: bytes) -> HttpResponse:
+    sub = Subscription.from_dict(_require_object(_parse_json(body), "subscription"))
+    snapshot = gateway.subscriptions.register(sub)
+    return _json_response(
+        200,
+        {"subscription": sub.to_dict(), "snapshot": snapshot.to_dict()},
+        headers=((VERSION_HEADER, str(snapshot.graph_version)),),
+    )
+
+
+def _handle_unsubscribe(gateway, body: bytes) -> HttpResponse:
+    payload = _require_object(_parse_json(body), "unsubscribe")
+    sub_id, _ = _subscription_ref(payload)
+    if not gateway.subscriptions.unregister(sub_id):
+        raise SubscriptionNotFoundError(sub_id)
+    return _json_response(200, {"unsubscribed": sub_id})
+
+
+def _handle_subscribe_poll(gateway, body: bytes) -> HttpResponse:
+    payload = _require_object(_parse_json(body), "poll")
+    extra = set(payload) - {"id", "last_event_id", "timeout"}
+    if extra:
+        raise InvalidInputError(f"unknown poll fields {sorted(extra)}")
+    sub_id, last_event_id = _subscription_ref(payload)
+    timeout = payload.get("timeout", DEFAULT_POLL_TIMEOUT)
+    if not isinstance(timeout, (int, float)) or isinstance(timeout, bool):
+        raise InvalidInputError(f"'timeout' must be a number, got {timeout!r}")
+    timeout = min(max(0.0, float(timeout)), MAX_POLL_TIMEOUT)
+    events = gateway.subscriptions.poll(sub_id, last_event_id, timeout=timeout)
+    headers: Tuple = ()
+    if events:
+        headers = ((VERSION_HEADER, str(events[-1].graph_version)),)
+    return _json_response(
+        200,
+        {
+            "subscription_id": sub_id,
+            "count": len(events),
+            "events": [event.to_dict() for event in events],
+        },
+        headers=headers,
+    )
+
+
+def _sse_frame(diff) -> bytes:
+    """One SSE event frame for a diff (``id`` carries the resume cursor)."""
+    return (
+        f"id: {diff.event_id}\n"
+        f"event: diff\n"
+        f"data: {json.dumps(diff.to_dict(), sort_keys=True)}\n\n"
+    ).encode("utf-8")
+
+
+def _sse_error_frame(err_type: str, message: str) -> bytes:
+    payload = json.dumps(
+        {"error": {"type": err_type, "message": message}}, sort_keys=True
+    )
+    return f"event: error\ndata: {payload}\n\n".encode("utf-8")
+
+
+def _handle_subscribe_stream(gateway, body: bytes) -> HttpResponse:
+    """SSE diff stream; the resume cursor arrives in the POST body."""
+    payload = _require_object(_parse_json(body), "stream")
+    extra = set(payload) - {"id", "last_event_id"}
+    if extra:
+        raise InvalidInputError(f"unknown stream fields {sorted(extra)}")
+    sub_id, last_event_id = _subscription_ref(payload)
+    # Attach before answering 200 so an unknown id is a clean 404, not a
+    # broken stream.
+    consumer = gateway.subscriptions.consumer(sub_id, last_event_id)
+    keepalive = gateway.sse_keepalive_seconds
+
+    def stream():
+        try:
+            # The first frame pins the subscription id so a client
+            # multiplexing streams can label them without peeking at diffs.
+            yield f": stream {sub_id}\n\n".encode("ascii")
+            while True:
+                try:
+                    batch = consumer.next_batch(timeout=keepalive)
+                except SlowConsumerError as exc:
+                    yield _sse_error_frame("slow_consumer", str(exc))
+                    return
+                if batch is None:
+                    return  # manager draining or subscription unregistered
+                if not batch:
+                    yield b": keepalive\n\n"
+                    continue
+                for diff in batch:
+                    yield _sse_frame(diff)
+        finally:
+            consumer.close()
+
+    return HttpResponse(status=200, body=b"", content_type=_SSE, stream=stream)
+
+
 def _handle_healthz(gateway, body: bytes) -> HttpResponse:
     return _json_response(200, gateway.health())
 
@@ -208,6 +358,10 @@ ROUTES: Dict[Tuple[str, str], Callable] = {
     ("POST", "/query"): _handle_query,
     ("POST", "/batch"): _handle_batch,
     ("POST", "/update"): _handle_update,
+    ("POST", "/subscribe"): _handle_subscribe,
+    ("POST", "/unsubscribe"): _handle_unsubscribe,
+    ("POST", "/subscribe/poll"): _handle_subscribe_poll,
+    ("POST", "/subscribe/stream"): _handle_subscribe_stream,
     ("GET", "/healthz"): _handle_healthz,
     ("GET", "/stats"): _handle_stats,
     ("GET", "/metrics"): _handle_metrics,
@@ -291,6 +445,13 @@ def handle_request(gateway, method: str, path: str, body: bytes) -> HttpResponse
         )
     except CoalescerClosedError as exc:
         return _error(503, "draining", str(exc), headers=_retry_after_header(1.0))
+    except SubscriptionNotFoundError as exc:
+        return _error(404, "subscription_not_found", str(exc))
+    except SlowConsumerError as exc:
+        # Only reachable from the poll path (streams end with an SSE error
+        # frame instead); 409 because the client's cursor, not its request
+        # shape, is what conflicts.
+        return _error(409, "slow_consumer", str(exc))
     except VertexNotFoundError as exc:
         return _error(404, "vertex_not_found", str(exc))
     except InvalidInputError as exc:

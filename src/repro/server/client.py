@@ -25,10 +25,11 @@ import socket
 import time
 import uuid
 from datetime import datetime, timezone
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.api.query import Query, QueryBuilder
 from repro.api.response import QueryResponse
+from repro.api.subscription import CommunityDiff, Subscription
 from repro.engine.updates import GraphUpdate
 from repro.errors import ReproError
 
@@ -284,6 +285,181 @@ class ServerClient:
         }
         _, _, decoded = self._request("POST", "/update", payload)
         return decoded
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, subscription: Union[Subscription, dict, "str"], **fields
+    ) -> Tuple[Subscription, CommunityDiff]:
+        """``POST /subscribe`` — register a standing query.
+
+        Accepts a :class:`~repro.api.subscription.Subscription`, a payload
+        mapping, or a bare query vertex with keyword fields (``k=``,
+        ``method=``, ``cohesion=``, ``id=``). Returns the registered
+        subscription (carrying its server-confirmed id) and the ``reset``
+        snapshot diff — the full membership baseline at the registration
+        version.
+        """
+        if isinstance(subscription, Subscription):
+            payload = subscription.to_dict()
+        elif isinstance(subscription, dict):
+            payload = dict(subscription)
+        else:
+            payload = {"vertex": subscription}
+        payload.update(fields)
+        if not payload.get("id"):
+            payload.pop("id", None)
+        _, _, decoded = self._request("POST", "/subscribe", payload)
+        return (
+            Subscription.from_dict(decoded["subscription"]),
+            CommunityDiff.from_dict(decoded["snapshot"]),
+        )
+
+    def unsubscribe(self, sub_id: str) -> dict:
+        """``POST /unsubscribe`` — drop a standing query by id."""
+        _, _, decoded = self._request("POST", "/unsubscribe", {"id": sub_id})
+        return decoded
+
+    def poll(
+        self,
+        sub_id: str,
+        last_event_id: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[CommunityDiff]:
+        """``POST /subscribe/poll`` — long-poll for diffs past a cursor.
+
+        Blocks server-side up to ``timeout`` seconds (the server bounds
+        it); keep it comfortably under this client's socket timeout.
+        """
+        payload: dict = {"id": sub_id}
+        if last_event_id is not None:
+            payload["last_event_id"] = int(last_event_id)
+        if timeout is not None:
+            payload["timeout"] = timeout
+        _, _, decoded = self._request("POST", "/subscribe/poll", payload)
+        return [CommunityDiff.from_dict(item) for item in decoded["events"]]
+
+    def subscribe_stream(
+        self, sub_id: str, last_event_id: Optional[int] = None
+    ) -> Iterator[CommunityDiff]:
+        """``POST /subscribe/stream`` — a resumable generator of diffs.
+
+        Opens a dedicated connection (the server closes it when the stream
+        ends) and yields :class:`~repro.api.subscription.CommunityDiff`
+        events as they arrive. The generator reconnects through the same
+        retry budget as :meth:`_request` — carrying the last delivered
+        event id, so a torn stream resumes without gaps or duplicates
+        (a cursor behind the server's retained window yields a ``reset``
+        re-baseline diff instead). Two things end it: the subscription
+        disappearing (:class:`ServerError` 404 after the server drops it)
+        and slow-consumer eviction, which the server sends as a typed
+        ``event: error`` frame and this method raises as a
+        :class:`ServerError` with ``error_type="slow_consumer"`` — never a
+        silent hang.
+        """
+        cursor = 0 if last_event_id is None else int(last_event_id)
+        failures = 0
+        while True:
+            progressed = False
+            try:
+                for diff in self._stream_once(sub_id, cursor):
+                    progressed = True
+                    failures = 0
+                    cursor = max(cursor, diff.event_id)
+                    yield diff
+            except (OSError, http.client.HTTPException):
+                failures += 1
+                if failures > self.retries + 1:
+                    raise
+                time.sleep(self._retry_delay(max(1, failures - 1)))
+                continue
+            # Clean EOF: the server ended the stream (drain or handler
+            # rotation). Resume from the cursor — but an EOF that delivered
+            # nothing spends retry budget, so a permanently-draining server
+            # becomes an error instead of a reconnect spin.
+            if not progressed:
+                failures += 1
+                if failures > self.retries + 1:
+                    raise ServerError(
+                        503,
+                        "stream_ended",
+                        f"subscription stream for {sub_id!r} keeps ending "
+                        f"without events; the server is likely draining",
+                    )
+                time.sleep(self._retry_delay(max(1, failures - 1)))
+
+    def _stream_once(self, sub_id: str, cursor: int) -> Iterator[CommunityDiff]:
+        """One SSE connection: attach at ``cursor``, yield until EOF."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(
+                "POST",
+                "/subscribe/stream",
+                body=json.dumps({"id": sub_id, "last_event_id": cursor}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    error = json.loads(raw.decode("utf-8")).get("error", {})
+                except (ValueError, AttributeError):
+                    error = {}
+                raise ServerError(
+                    response.status,
+                    error.get("type", "unknown"),
+                    error.get("message", raw.decode("utf-8", "replace")),
+                    retry_after=_parse_retry_after(response.getheader("Retry-After")),
+                    location=response.getheader("Location"),
+                )
+            for event_type, data in self._sse_events(response):
+                if event_type == "error":
+                    try:
+                        error = json.loads(data).get("error", {})
+                    except ValueError:
+                        error = {}
+                    raise ServerError(
+                        409 if error.get("type") == "slow_consumer" else 500,
+                        error.get("type", "unknown"),
+                        error.get("message", data),
+                    )
+                if event_type == "diff":
+                    yield CommunityDiff.from_dict(json.loads(data))
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _sse_events(response) -> Iterator[Tuple[str, str]]:
+        """Decode SSE frames off a response: ``(event_type, data)`` pairs.
+
+        ``http.client`` decodes the chunked transfer transparently, so
+        ``readline`` sees the raw event-stream text. Comment lines
+        (keepalives) are skipped; ``id:`` lines are redundant here because
+        every diff payload carries its own ``event_id``.
+        """
+        event_type = "message"
+        data_lines: List[str] = []
+        while True:
+            raw = response.readline()
+            if not raw:
+                return  # EOF: the server ended the stream
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if not line:
+                if data_lines:
+                    yield event_type, "\n".join(data_lines)
+                event_type = "message"
+                data_lines = []
+                continue
+            if line.startswith(":"):
+                continue
+            field, _, value = line.partition(":")
+            if value.startswith(" "):
+                value = value[1:]
+            if field == "event":
+                event_type = value
+            elif field == "data":
+                data_lines.append(value)
 
     def healthz(self) -> dict:
         """``GET /healthz`` — liveness and serving vitals."""

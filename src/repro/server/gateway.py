@@ -48,6 +48,7 @@ from repro.server.coalescer import (
     DEFAULT_WINDOW_SECONDS,
     RequestCoalescer,
 )
+from repro.subscribe import SubscriptionManager
 from repro.version import __version__
 
 __all__ = [
@@ -55,6 +56,8 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_SSE_KEEPALIVE_SECONDS",
+    "SUBSCRIPTIONS_LOG_NAME",
     "IDEMPOTENCY_CACHE_SIZE",
 ]
 
@@ -62,6 +65,15 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8437
 #: Request bodies past this size answer 413 before any JSON parsing.
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Idle-stream comment interval on ``POST /subscribe/stream`` — keeps
+#: NAT/proxy timeouts from reaping quiet SSE connections, and bounds how
+#: long a drain waits for a stream handler to notice the shutdown.
+DEFAULT_SSE_KEEPALIVE_SECONDS = 15.0
+
+#: The subscription journal's file name inside a durable data directory,
+#: next to the graph snapshot and WAL.
+SUBSCRIPTIONS_LOG_NAME = "subscriptions.jsonl"
 
 #: Receipts remembered for ``idempotency_key`` deduplication. A retrying
 #: client reuses its key within one connection's retry budget (seconds),
@@ -164,6 +176,7 @@ class CommunityGateway:
         warm: bool = False,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         log_requests: bool = False,
+        sse_keepalive: float = DEFAULT_SSE_KEEPALIVE_SECONDS,
     ) -> None:
         if isinstance(service, CommunityService):
             self.service = service
@@ -189,6 +202,15 @@ class CommunityGateway:
         self._counts_lock = threading.Lock()
         self._idempotency_lock = threading.Lock()
         self._idempotency_receipts: "OrderedDict[str, UpdateReceipt]" = OrderedDict()
+        self.sse_keepalive_seconds = sse_keepalive
+        # Standing queries: durable (journalled next to the graph WAL)
+        # exactly when the service itself is. Registrations replay before
+        # the first request can arrive.
+        storage = getattr(self.service, "storage", None)
+        log_path = (
+            None if storage is None else storage.directory / SUBSCRIPTIONS_LOG_NAME
+        )
+        self.subscriptions = SubscriptionManager(self.service, log_path=log_path)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -236,11 +258,16 @@ class CommunityGateway:
             self._server.shutdown()  # stop accepting new connections
         if self.coalescer is not None:
             self.coalescer.close(timeout=None if drain else 0.0)
+        # End SSE streams *before* joining handler threads (they block in
+        # consumer waits, not socket reads), but keep the update hook
+        # attached so writes still in flight journal their diffs.
+        self.subscriptions.disconnect_consumers()
         if self._server is not None:
             self._server.server_close()  # joins handler threads (drain)
         if self._server_thread is not None:
             self._server_thread.join(timeout=10.0)
         self._checkpoint_or_warn(drain)
+        self.subscriptions.close()
         self.service.close()
 
     def _checkpoint_or_warn(self, drain: bool) -> None:
@@ -251,6 +278,10 @@ class CommunityGateway:
         if storage is not None:
             if drain:
                 self.service.snapshot()
+                # The graph checkpoint folded the WAL; collapse the
+                # subscription journal to one snapshot entry per standing
+                # query the same way.
+                self.subscriptions.compact_log()
             return  # no drain: the WAL already holds every applied batch
         if version != self._version_at_start:
             print(
@@ -376,6 +407,7 @@ class CommunityGateway:
             "coalescing": self.coalescer is not None,
             "queue_depth": 0 if self.coalescer is None else self.coalescer.depth,
             "durable": getattr(self.service, "storage", None) is not None,
+            "subscriptions": len(self.subscriptions),
         }
         payload.update(self._health_extra())
         return payload
@@ -410,6 +442,7 @@ class CommunityGateway:
             },
             "engine": self.service.stats().to_dict(),
             "coalescer": None if self.coalescer is None else self.coalescer.stats(),
+            "subscriptions": self.subscriptions.stats(),
             "graph": {
                 "vertices": pg.num_vertices,
                 "edges": pg.num_edges,

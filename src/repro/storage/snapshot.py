@@ -455,6 +455,7 @@ def decode_payload(data: bytes, has_index: Optional[bool] = None) -> ProfiledGra
     pg._ptree_cache = {}
     pg._version = graph_version
     pg._journal = UpdateJournal()
+    pg._taps = []
     pg._maintenance_seconds = 0.0
     pg._repairs = 0
     # index section

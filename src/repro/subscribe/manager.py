@@ -1,0 +1,727 @@
+"""The subscription manager: standing queries, diff streams, durability.
+
+:class:`SubscriptionManager` owns every standing query registered against
+one :class:`~repro.api.service.CommunityService`. It hooks the engine's
+update pipeline (:meth:`CommunityExplorer.add_update_hook
+<repro.engine.explorer.CommunityExplorer.add_update_hook>`), so after
+every ``apply_updates`` batch — while the mutation lock is still held and
+the graph provably sits at the receipt's version — it:
+
+1. intersects the batch's :class:`~repro.index.maintenance.BatchDamage`
+   with each subscription's label footprint
+   (:class:`~repro.subscribe.matcher.SubscriptionMatcher`) and re-executes
+   only the possibly-affected subscriptions;
+2. re-evaluates those through the engine's versioned cache (incremental
+   methods like ``incre`` apply exactly as they do for one-shot queries);
+3. computes joined/left member diffs against each subscription's last
+   answer, assigns per-subscription monotonic event ids, appends the
+   diffs to the durable journal (when configured), and pushes them into
+   every attached consumer queue.
+
+Because the hook runs synchronously under the mutation lock, a pushed
+:class:`~repro.api.subscription.CommunityDiff` tagged ``graph_version=v``
+is *exactly* the full-recompute answer at version ``v`` — there is no
+window in which a second batch can slide underneath the evaluation. The
+differential stress test and the benchmark's correctness gate both lean
+on that guarantee.
+
+Consumers (one per connected streamer) hold bounded queues: a consumer
+whose client stops reading is **evicted** — its stream ends with a typed
+``slow_consumer`` error rather than silently wedging the server or
+buffering without bound. Evicted or disconnected clients resume with
+their last seen event id; if the requested id has fallen out of the
+per-subscription retained window, the stream restarts with a ``reset``
+snapshot diff instead of failing.
+
+Lock ordering: the engine mutation lock is always taken *before* the
+manager lock (registration and catch-up take both in that order; the
+update hook already holds the mutation lock). Consumer polling takes only
+the manager lock. This ordering is what makes synchronous evaluation
+deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.api.subscription import CommunityDiff, Subscription
+from repro.errors import InvalidInputError, ReproError, VertexNotFoundError
+from repro.index.maintenance import BatchDamage
+from repro.subscribe.log import SubscriptionLog
+from repro.subscribe.matcher import SubscriptionMatcher
+
+__all__ = [
+    "SubscriptionManager",
+    "SubscriptionConsumer",
+    "SubscriptionNotFoundError",
+    "SlowConsumerError",
+    "DEFAULT_EVENT_LOG_SIZE",
+    "DEFAULT_CONSUMER_QUEUE_SIZE",
+]
+
+Vertex = Hashable
+
+#: Diffs retained per subscription for ``Last-Event-ID`` resume. A client
+#: further behind than this receives a ``reset`` snapshot instead.
+DEFAULT_EVENT_LOG_SIZE = 1024
+
+#: Pending diffs per attached consumer before slow-consumer eviction.
+DEFAULT_CONSUMER_QUEUE_SIZE = 256
+
+
+class SubscriptionNotFoundError(ReproError):
+    """The referenced subscription id is not registered here."""
+
+    def __init__(self, sub_id: str) -> None:
+        super().__init__(f"unknown subscription {sub_id!r}")
+        self.sub_id = sub_id
+
+
+class SlowConsumerError(ReproError):
+    """This consumer fell too far behind and was evicted from the stream."""
+
+    def __init__(self, sub_id: str, dropped: int) -> None:
+        super().__init__(
+            f"consumer of subscription {sub_id!r} evicted after its queue "
+            f"exceeded {dropped} pending diffs — resume with the last event "
+            f"id you processed"
+        )
+        self.sub_id = sub_id
+
+
+class _SubscriptionState:
+    """Book-keeping for one registered subscription (manager-lock guarded)."""
+
+    __slots__ = (
+        "sub",
+        "footprint",
+        "sensitive_to_all",
+        "members",
+        "last_version",
+        "next_event_id",
+        "events",
+    )
+
+    def __init__(self, sub: Subscription, event_log_size: int) -> None:
+        self.sub = sub
+        self.footprint: FrozenSet[int] = frozenset()
+        self.sensitive_to_all = True
+        self.members: FrozenSet[Vertex] = frozenset()
+        self.last_version = -1
+        self.next_event_id = 1
+        self.events: Deque[CommunityDiff] = deque(maxlen=event_log_size)
+
+
+class SubscriptionConsumer:
+    """One attached diff stream: a bounded queue drained by a single reader.
+
+    Iterate with :meth:`next_batch`; a batch of ``[]`` means the timeout
+    lapsed with nothing to send (emit a keep-alive), ``None`` means the
+    stream ended cleanly (manager closed or subscription unregistered),
+    and :class:`SlowConsumerError` means this consumer was evicted.
+    """
+
+    def __init__(self, manager: "SubscriptionManager", sub_id: str,
+                 backlog: List[CommunityDiff], maxsize: int) -> None:
+        self._manager = manager
+        self.sub_id = sub_id
+        self._queue: Deque[CommunityDiff] = deque(backlog)
+        self._maxsize = max(maxsize, len(self._queue))
+        self.evicted = False
+        self.closed = False
+
+    def _push(self, diff: CommunityDiff) -> bool:
+        """Enqueue (manager lock held); False → the consumer must be evicted."""
+        if len(self._queue) >= self._maxsize:
+            self.evicted = True
+            self._queue.clear()
+            return False
+        self._queue.append(diff)
+        return True
+
+    def next_batch(self, timeout: Optional[float] = None) -> Optional[List[CommunityDiff]]:
+        """Drain pending diffs, waiting up to ``timeout`` for the first one."""
+        cond = self._manager._cond
+        with cond:
+            if not self._queue and not (self.evicted or self.closed or self._manager._closed):
+                cond.wait_for(
+                    lambda: self._queue or self.evicted or self.closed
+                    or self._manager._closed,
+                    timeout=timeout,
+                )
+            if self.evicted:
+                raise SlowConsumerError(self.sub_id, self._maxsize)
+            if self._queue:
+                batch = list(self._queue)
+                self._queue.clear()
+                return batch
+            if self.closed or self._manager._closed:
+                return None
+            return []
+
+    def close(self) -> None:
+        """Detach from the manager (idempotent)."""
+        self._manager._detach_consumer(self)
+
+    def __enter__(self) -> "SubscriptionConsumer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SubscriptionManager:
+    """Standing queries over one community service (see module docstring).
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.api.service.CommunityService` whose engine this
+        manager hooks. Swappable later via :meth:`rebind` (replica resync).
+    log_path:
+        Optional path of the durable subscription journal. When given,
+        existing entries are replayed on construction and every
+        registration/diff is fsync'd as it happens.
+    event_log_size, consumer_queue_size:
+        Resume-window and eviction bounds (see module constants).
+    """
+
+    def __init__(
+        self,
+        service,
+        log_path=None,
+        event_log_size: int = DEFAULT_EVENT_LOG_SIZE,
+        consumer_queue_size: int = DEFAULT_CONSUMER_QUEUE_SIZE,
+    ) -> None:
+        self._service = service
+        self._event_log_size = event_log_size
+        self._consumer_queue_size = consumer_queue_size
+        self.matcher = SubscriptionMatcher()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._states: Dict[str, _SubscriptionState] = {}
+        self._consumers: Dict[str, List[SubscriptionConsumer]] = {}
+        self._closed = False
+        self._disconnected = False
+        self._attached = None
+        self._batches = 0
+        self._reevaluations = 0
+        self._events_published = 0
+        self._evictions = 0
+        self._hook_errors = 0
+        self._last_error: Optional[str] = None
+        self._last_batch: Dict[str, int] = {"subscriptions": 0, "reevaluated": 0}
+        self._log: Optional[SubscriptionLog] = None
+        replayed = False
+        if log_path is not None:
+            for entry in SubscriptionLog.iter_entries(log_path):
+                self._replay_entry_locked(entry)
+                replayed = True
+            self._log = SubscriptionLog(log_path)
+        self.attach(service)
+        if replayed:
+            # The graph may have booted past the last persisted diff (the
+            # WAL replays without hooks attached): emit one catch-up diff
+            # per subscription whose answer moved, so a resuming client
+            # lands at the booted version with no gap.
+            self.catch_up()
+
+    # ------------------------------------------------------------------
+    # engine hook lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def service(self):
+        return self._service
+
+    def attach(self, service) -> None:
+        """Hook ``service``'s engine; detaches from any previous one."""
+        self.detach()
+        self._service = service
+        service.explorer.add_update_hook(self._on_updates)
+        self._attached = service.explorer
+
+    def detach(self) -> None:
+        """Remove the engine hook (idempotent)."""
+        if self._attached is not None:
+            self._attached.remove_update_hook(self._on_updates)
+            self._attached = None
+
+    def rebind(self, service) -> None:
+        """Follow a service swap (replica resync): re-hook and catch up.
+
+        Registered subscriptions and their event histories survive; each
+        is re-evaluated against the new service's graph and a catch-up
+        diff is emitted where the answer moved.
+        """
+        self.attach(service)
+        self.catch_up()
+
+    def disconnect_consumers(self) -> None:
+        """End every attached stream *without* stopping the manager.
+
+        The first half of the gateway's drain: handler threads blocked in
+        :meth:`SubscriptionConsumer.next_batch` wake and see their stream
+        closed, so the HTTP server can join them — while the update hook
+        stays attached, so writes still in flight keep journalling their
+        diffs (an acknowledged update must imply diffs on disk even
+        mid-drain). New consumers attach pre-closed: they deliver their
+        resume backlog once and end.
+        """
+        with self._cond:
+            self._disconnected = True
+            for consumers in self._consumers.values():
+                for consumer in consumers:
+                    consumer.closed = True
+            self._consumers.clear()
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop serving: wake and end every consumer stream, drop the hook."""
+        self.detach()
+        with self._cond:
+            self._closed = True
+            self._disconnected = True
+            self._cond.notify_all()
+        if self._log is not None:
+            self._log.close()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, sub: Subscription) -> CommunityDiff:
+        """Register a standing query; returns its ``reset`` snapshot diff.
+
+        The snapshot (event id 1) carries the full current membership at
+        the registration version — the baseline every later diff composes
+        onto.
+        """
+        with self._service.explorer.mutation_lock:
+            with self._cond:
+                if self._closed:
+                    raise InvalidInputError("subscription manager is closed")
+                if sub.id in self._states:
+                    raise InvalidInputError(
+                        f"subscription id {sub.id!r} is already registered"
+                    )
+                state = _SubscriptionState(sub, self._event_log_size)
+                members, footprint, sensitive = self._evaluate(sub)
+                version = self._service.pg.version
+                diff = CommunityDiff(
+                    subscription_id=sub.id,
+                    event_id=1,
+                    graph_version=version,
+                    joined=tuple(members),
+                    reset=True,
+                )
+                state.members = members
+                state.footprint = footprint
+                state.sensitive_to_all = sensitive
+                state.last_version = version
+                state.next_event_id = 2
+                state.events.append(diff)
+                self._states[sub.id] = state
+                if self._log is not None:
+                    self._log.append(
+                        {
+                            "op": "register",
+                            "subscription": sub.to_dict(),
+                            "snapshot": diff.to_dict(),
+                        }
+                    )
+                return diff
+
+    def unregister(self, sub_id: str) -> bool:
+        """Drop a subscription; its consumers' streams end cleanly."""
+        with self._cond:
+            state = self._states.pop(sub_id, None)
+            if state is None:
+                return False
+            for consumer in self._consumers.pop(sub_id, []):
+                consumer.closed = True
+            if self._log is not None:
+                self._log.append({"op": "unregister", "id": sub_id})
+            self._cond.notify_all()
+            return True
+
+    def get(self, sub_id: str) -> Subscription:
+        """The registered subscription behind ``sub_id`` (404 if unknown)."""
+        with self._lock:
+            state = self._states.get(sub_id)
+            if state is None:
+                raise SubscriptionNotFoundError(sub_id)
+            return state.sub
+
+    def subscriptions(self) -> List[Subscription]:
+        """Every currently registered subscription (order unspecified)."""
+        with self._lock:
+            return [state.sub for state in self._states.values()]
+
+    def members(self, sub_id: str) -> FrozenSet[Vertex]:
+        """The watched member set as of the last evaluation."""
+        with self._lock:
+            state = self._states.get(sub_id)
+            if state is None:
+                raise SubscriptionNotFoundError(sub_id)
+            return state.members
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._states)
+
+    # ------------------------------------------------------------------
+    # evaluation (both locks held: mutation lock outside, manager inside)
+    # ------------------------------------------------------------------
+    def _evaluate(self, sub: Subscription) -> Tuple[FrozenSet[Vertex], FrozenSet[int], bool]:
+        """``(members, footprint, sensitive_to_all)`` at the current version.
+
+        Must be called with the engine mutation lock held so the graph
+        cannot move mid-evaluation. A vanished query vertex is a legal
+        state (membership ∅, re-evaluate on any batch until it returns).
+        """
+        explorer = self._service.explorer
+        pg = self._service.pg
+        root = pg.taxonomy.root
+        try:
+            # The taxonomy root is in *every* non-empty closure (ancestor
+            # closure runs to the root), so keeping it in the footprint
+            # would make every edge edit between labelled vertices match
+            # every subscription. Dropping it is sound because a theme
+            # strictly below the root confines its community to vertices
+            # carrying that theme — root-level damage only matters to
+            # answers that contain a root-only (or empty-theme) community,
+            # which the sensitivity flag below tracks explicitly.
+            footprint = pg.labels(sub.vertex) - {root}
+        except VertexNotFoundError:
+            return frozenset(), frozenset(), True
+        try:
+            result = explorer.explore(
+                sub.vertex, k=sub.k, method=sub.method, cohesion=sub.cohesion
+            )
+        except VertexNotFoundError:  # pragma: no cover - raced removal
+            return frozenset(), footprint, True
+        members: set = set()
+        sensitive = not result.communities
+        for community in result.communities:
+            members |= community.vertices
+            if not (community.subtree.nodes - {root}):
+                # A root-only or empty-theme community (the plain k-core of
+                # the labelled — or whole — graph) lives outside any label
+                # filter: edits anywhere can change it, and its
+                # disappearance is what lets a deeper theme's maximality
+                # flip. Re-evaluate on every batch while one is present.
+                sensitive = True
+        return frozenset(members), footprint, sensitive
+
+    def _on_updates(self, receipt, damage: Optional[BatchDamage]) -> None:
+        """The engine post-update hook (mutation lock held by the caller).
+
+        Never raises: a subscription that fails to evaluate is marked
+        always-affected and retried on the next batch, and journal write
+        failures are surfaced through :meth:`stats` — a broken subscriber
+        tier must not fail the write path that triggered it.
+        """
+        try:
+            self._process_batch(receipt, damage)
+        except Exception as exc:  # noqa: BLE001 - write path must survive
+            with self._lock:
+                self._hook_errors += 1
+                self._last_error = f"{type(exc).__name__}: {exc}"
+
+    def _process_batch(self, receipt, damage: Optional[BatchDamage]) -> None:
+        with self._cond:
+            if self._closed or not self._states:
+                return
+            affected = [
+                state
+                for state in self._states.values()
+                if self.matcher.decide(
+                    state.footprint,
+                    state.sensitive_to_all,
+                    state.sub.vertex,
+                    damage,
+                )
+            ]
+            self._batches += 1
+            self._reevaluations += len(affected)
+            self._last_batch = {
+                "subscriptions": len(self._states),
+                "reevaluated": len(affected),
+            }
+            published = False
+            for state in affected:
+                try:
+                    members, footprint, sensitive = self._evaluate(state.sub)
+                except Exception as exc:  # noqa: BLE001 - isolate per subscription
+                    state.sensitive_to_all = True
+                    self._hook_errors += 1
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+                    continue
+                state.footprint = footprint
+                state.sensitive_to_all = sensitive
+                state.last_version = receipt.version
+                joined = members - state.members
+                left = state.members - members
+                if not joined and not left:
+                    continue
+                diff = CommunityDiff(
+                    subscription_id=state.sub.id,
+                    event_id=state.next_event_id,
+                    graph_version=receipt.version,
+                    joined=tuple(joined),
+                    left=tuple(left),
+                )
+                state.next_event_id += 1
+                state.members = members
+                state.events.append(diff)
+                if self._log is not None:
+                    self._log.append({"op": "diff", "diff": diff.to_dict()})
+                self._publish(state.sub.id, diff)
+                published = True
+            if published or affected:
+                self._cond.notify_all()
+
+    def catch_up(self) -> int:
+        """Re-evaluate every subscription now; returns diffs emitted.
+
+        Used after boot replay and replica resync, when the graph moved
+        while no hook was attached. Runs under both locks like a batch.
+        """
+        emitted = 0
+        with self._service.explorer.mutation_lock:
+            with self._cond:
+                if self._closed:
+                    return 0
+                version = self._service.pg.version
+                for state in self._states.values():
+                    members, footprint, sensitive = self._evaluate(state.sub)
+                    state.footprint = footprint
+                    state.sensitive_to_all = sensitive
+                    state.last_version = version
+                    joined = members - state.members
+                    left = state.members - members
+                    if not joined and not left:
+                        continue
+                    diff = CommunityDiff(
+                        subscription_id=state.sub.id,
+                        event_id=state.next_event_id,
+                        graph_version=version,
+                        joined=tuple(joined),
+                        left=tuple(left),
+                    )
+                    state.next_event_id += 1
+                    state.members = members
+                    state.events.append(diff)
+                    if self._log is not None:
+                        self._log.append({"op": "diff", "diff": diff.to_dict()})
+                    self._publish(state.sub.id, diff)
+                    emitted += 1
+                if emitted:
+                    self._cond.notify_all()
+        return emitted
+
+    # ------------------------------------------------------------------
+    # consumers / event delivery
+    # ------------------------------------------------------------------
+    def _publish(self, sub_id: str, diff: CommunityDiff) -> None:
+        """Fan one diff out to the subscription's consumers (lock held)."""
+        consumers = self._consumers.get(sub_id)
+        if not consumers:
+            self._events_published += 1
+            return
+        surviving = []
+        for consumer in consumers:
+            if consumer._push(diff):
+                surviving.append(consumer)
+            else:
+                self._evictions += 1
+        self._consumers[sub_id] = surviving
+        self._events_published += 1
+
+    def _events_since_locked(
+        self, state: _SubscriptionState, last_event_id: Optional[int]
+    ) -> List[CommunityDiff]:
+        after = 0 if last_event_id is None else max(0, last_event_id)
+        retained = list(state.events)
+        if after >= state.next_event_id - 1 and after < state.next_event_id:
+            return []  # fully caught up
+        first_retained = retained[0].event_id if retained else state.next_event_id
+        if after + 1 < first_retained or after >= state.next_event_id:
+            # Outside the retained window (too old, or from another
+            # incarnation): re-baseline with a reset snapshot at the head.
+            return [
+                CommunityDiff(
+                    subscription_id=state.sub.id,
+                    event_id=max(1, state.next_event_id - 1),
+                    graph_version=state.last_version,
+                    joined=tuple(state.members),
+                    reset=True,
+                )
+            ]
+        return [diff for diff in retained if diff.event_id > after]
+
+    def events_since(
+        self, sub_id: str, last_event_id: Optional[int] = None
+    ) -> List[CommunityDiff]:
+        """Retained diffs after ``last_event_id`` (see resume semantics).
+
+        ``None``/``0`` mean "from the beginning". A requested id older
+        than the retained window answers a single ``reset`` snapshot that
+        re-baselines the consumer at the current membership.
+        """
+        with self._lock:
+            state = self._states.get(sub_id)
+            if state is None:
+                raise SubscriptionNotFoundError(sub_id)
+            return self._events_since_locked(state, last_event_id)
+
+    def poll(
+        self,
+        sub_id: str,
+        last_event_id: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> List[CommunityDiff]:
+        """Long-poll: block up to ``timeout`` for diffs after ``last_event_id``."""
+        with self._cond:
+            state = self._states.get(sub_id)
+            if state is None:
+                raise SubscriptionNotFoundError(sub_id)
+            events = self._events_since_locked(state, last_event_id)
+            if events or timeout == 0:
+                return events
+
+            self._cond.wait_for(
+                lambda: self._poll_ready_locked(sub_id, last_event_id),
+                timeout=timeout,
+            )
+            state = self._states.get(sub_id)
+            if state is None:
+                raise SubscriptionNotFoundError(sub_id)
+            return self._events_since_locked(state, last_event_id)
+
+    def _poll_ready_locked(self, sub_id: str, last_event_id: Optional[int]) -> bool:
+        """The long-poll wake predicate; ``wait_for`` holds the lock."""
+        current = self._states.get(sub_id)
+        return (
+            self._closed
+            or current is None
+            or bool(self._events_since_locked(current, last_event_id))
+        )
+
+    def consumer(
+        self, sub_id: str, last_event_id: Optional[int] = None
+    ) -> SubscriptionConsumer:
+        """Attach a streaming consumer, pre-loaded with the resume backlog."""
+        with self._lock:
+            state = self._states.get(sub_id)
+            if state is None:
+                raise SubscriptionNotFoundError(sub_id)
+            backlog = self._events_since_locked(state, last_event_id)
+            consumer = SubscriptionConsumer(
+                self, sub_id, backlog, self._consumer_queue_size
+            )
+            if self._disconnected:
+                # Draining: deliver the backlog, then end the stream.
+                consumer.closed = True
+            else:
+                self._consumers.setdefault(sub_id, []).append(consumer)
+            return consumer
+
+    def _detach_consumer(self, consumer: SubscriptionConsumer) -> None:
+        with self._cond:
+            consumers = self._consumers.get(consumer.sub_id)
+            if consumers and consumer in consumers:
+                consumers.remove(consumer)
+            consumer.closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _replay_entry_locked(self, entry: dict) -> None:
+        """Apply one journal entry to in-memory state (boot-time only).
+
+        Runs from ``__init__`` before any other thread can see the
+        manager; the ``_locked`` suffix marks the single-threaded
+        exemption for the lock-discipline checker.
+        """
+        op = entry.get("op")
+        if op == "register":
+            sub = Subscription.from_dict(entry["subscription"])
+            snapshot = CommunityDiff.from_dict(entry["snapshot"])
+            state = _SubscriptionState(sub, self._event_log_size)
+            state.members = snapshot.apply_to(frozenset())
+            state.last_version = snapshot.graph_version
+            state.next_event_id = snapshot.event_id + 1
+            state.events.append(snapshot)
+            self._states[sub.id] = state
+        elif op == "diff":
+            diff = CommunityDiff.from_dict(entry["diff"])
+            state = self._states.get(diff.subscription_id)
+            if state is None:
+                return  # diff for a subscription unregistered later
+            state.members = diff.apply_to(state.members)
+            state.last_version = diff.graph_version
+            state.next_event_id = max(state.next_event_id, diff.event_id + 1)
+            state.events.append(diff)
+        elif op == "unregister":
+            self._states.pop(entry.get("id"), None)
+        # Unknown ops are skipped: a newer writer's entries must not brick
+        # an older reader's boot.
+
+    def compact_log(self) -> None:
+        """Rewrite the journal as one register entry per live subscription.
+
+        Called on clean checkpoints. Resume windows collapse to the
+        snapshot — a client resuming from an older event id receives a
+        ``reset`` re-baseline, which is exactly the gap semantics.
+        """
+        if self._log is None:
+            return
+        with self._lock:
+            entries = []
+            for state in self._states.values():
+                snapshot = CommunityDiff(
+                    subscription_id=state.sub.id,
+                    event_id=max(1, state.next_event_id - 1),
+                    graph_version=state.last_version,
+                    joined=tuple(state.members),
+                    reset=True,
+                )
+                entries.append(
+                    {
+                        "op": "register",
+                        "subscription": state.sub.to_dict(),
+                        "snapshot": snapshot.to_dict(),
+                    }
+                )
+            self._log.compact(entries)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``/stats`` subscription block (selectivity counters included)."""
+        with self._lock:
+            consumers = sum(len(c) for c in self._consumers.values())
+            return {
+                "subscriptions": len(self._states),
+                "consumers": consumers,
+                "batches": self._batches,
+                "reevaluations": self._reevaluations,
+                "events_published": self._events_published,
+                "evictions": self._evictions,
+                "hook_errors": self._hook_errors,
+                "last_error": self._last_error,
+                "last_batch": dict(self._last_batch),
+                "matcher": self.matcher.stats(),
+                "durable": self._log is not None,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"SubscriptionManager(subscriptions={len(self._states)}, "
+                f"durable={self._log is not None})"
+            )

@@ -1,0 +1,122 @@
+"""Dirty-label selectivity: which subscriptions can an edit batch affect?
+
+The CP-tree maintenance argument (see :mod:`repro.index.maintenance`)
+says an edge edit ``{u, v}`` perturbs the induced subgraph of label ``t``
+iff both endpoints carry ``t`` — so a batch's
+:class:`~repro.index.maintenance.BatchDamage` lists exactly the labels
+whose per-label subgraphs may have changed. The same argument bounds
+*answers*: a PCS community with (non-empty) theme ``S`` lives entirely
+inside the induced subgraph of ``V_S`` (every member carries ``S``), so
+an edit that left every label of ``T(q)`` clean — and didn't touch ``q``
+itself — cannot have changed any themed community of ``q``. That makes
+``dirty_labels ∩ T(q)`` a *sound* re-evaluation filter.
+
+One refinement makes the filter actually selective: the taxonomy **root**
+is in every non-empty closure (ancestor closure runs to the root), so
+every edge edit between labelled vertices dirties it and a naive
+intersection would match every subscription. The manager therefore hands
+the matcher ``T(q)`` *minus the root*. That is sound because a theme
+strictly below the root confines its community to the vertices carrying
+it; the only answers root-level damage can reach are those containing a
+**root-only** community — and subtree maximality means such a community
+is reported only when no deeper theme is feasible, a state the
+sensitivity flag below covers.
+
+Three answers escape the argument and force over-approximation (tracked
+as ``sensitive_to_all``):
+
+* a subscription whose last answer contained an **empty-theme** community
+  (the plain k-core, returned when no labelled subtree is feasible) lives
+  in the whole graph's induced subgraph — any edge edit anywhere can
+  change it;
+* likewise a **root-only** theme — the k-core of the labelled graph —
+  which no per-label filter bounds, and whose disappearance is exactly
+  what lets a deeper theme's maximality flip;
+* a subscription whose last answer was **empty** (``q`` not in any
+  k-core) can gain an empty-theme community from any edge edit (core
+  numbers cascade).
+
+Both are tracked per subscription as the ``sensitive_to_all`` flag,
+refreshed on every re-evaluation. The remaining fallbacks are the obvious
+ones: no damage information at all, a batch the journal could not express
+(``damage.full``), an empty label footprint, and ``q`` itself being
+added, removed or re-profiled.
+
+Misses are never allowed (the property suite in
+``tests/test_subscribe_properties.py`` drives random graphs and edit
+batches against a full recompute to check exactly that); skipping too
+little only costs latency, skipping too much costs correctness.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Optional
+
+from repro.index.maintenance import BatchDamage
+
+__all__ = ["SubscriptionMatcher"]
+
+Vertex = Hashable
+
+
+class SubscriptionMatcher:
+    """The re-evaluation decision plus its running selectivity counters.
+
+    Stateless per decision — all per-subscription state (footprint,
+    sensitivity) is owned by the manager and passed in — but the matcher
+    counts decisions so the benchmark and ``/stats`` can report the
+    fraction of subscriptions an average batch re-evaluates.
+    """
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.affected = 0
+
+    @staticmethod
+    def is_affected(
+        footprint: FrozenSet[int],
+        sensitive_to_all: bool,
+        vertex: Vertex,
+        damage: Optional[BatchDamage],
+    ) -> bool:
+        """Whether a batch with ``damage`` may change this subscription.
+
+        ``footprint`` is the ancestor-closed label set ``T(q)`` at the
+        subscription's last evaluation; ``sensitive_to_all`` the
+        empty-theme/empty-answer flag documented in the module docstring.
+        ``damage=None`` means "no information" and must over-approximate.
+        """
+        if damage is None or damage.full:
+            return True
+        if sensitive_to_all or not footprint:
+            return True
+        if vertex in damage.touched or vertex in damage.removed:
+            return True
+        return not damage.dirty_labels.isdisjoint(footprint)
+
+    def decide(
+        self,
+        footprint: FrozenSet[int],
+        sensitive_to_all: bool,
+        vertex: Vertex,
+        damage: Optional[BatchDamage],
+    ) -> bool:
+        """:meth:`is_affected`, counted."""
+        hit = self.is_affected(footprint, sensitive_to_all, vertex, damage)
+        self.decisions += 1
+        self.affected += 1 if hit else 0
+        return hit
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of decisions that triggered re-evaluation (1.0 if none)."""
+        if not self.decisions:
+            return 1.0
+        return self.affected / self.decisions
+
+    def stats(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "affected": self.affected,
+            "selectivity": round(self.selectivity, 4),
+        }

@@ -1,0 +1,573 @@
+"""Unit coverage for the subscription tier: matcher, log, manager, routes.
+
+The streaming/differential gauntlets live in ``test_subscribe_stream.py``
+and the crash/resume suite in ``test_subscribe_crash.py``; this file pins
+the per-component contracts those suites build on:
+
+* :class:`~repro.subscribe.matcher.SubscriptionMatcher` — the dirty-label
+  decision table and its selectivity counters;
+* :class:`~repro.subscribe.log.SubscriptionLog` — JSONL durability with
+  torn-tail tolerance and atomic compaction;
+* the :class:`~repro.api.subscription.Subscription` /
+  :class:`~repro.api.subscription.CommunityDiff` wire types;
+* :class:`~repro.subscribe.manager.SubscriptionManager` — registration
+  snapshots, selective re-evaluation on fig1's two label partitions,
+  event retention/resume semantics, long-poll, consumer eviction, and
+  journal replay across a manager restart;
+* the four HTTP routes, driven through ``handle_request`` in-process.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import CommunityDiff, CommunityService, Subscription
+from repro.datasets import fig1_profiled_graph
+from repro.errors import InvalidInputError
+from repro.index.maintenance import BatchDamage
+from repro.subscribe import (
+    SlowConsumerError,
+    SubscriptionLog,
+    SubscriptionLogError,
+    SubscriptionManager,
+    SubscriptionMatcher,
+    SubscriptionNotFoundError,
+)
+
+
+def _service() -> CommunityService:
+    return CommunityService(fig1_profiled_graph(), default_k=2)
+
+
+def _members(service: CommunityService, vertex, k=None) -> frozenset:
+    """The watched set by full recompute: union of all community vertices."""
+    result = service.explorer.explore(vertex, k=k)
+    out: set = set()
+    for community in result.communities:
+        out |= community.vertices
+    return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# matcher
+# ---------------------------------------------------------------------------
+class TestMatcher:
+    def _damage(self, pg, updates) -> BatchDamage:
+        """The damage a batch of dict-form updates would report."""
+        service = CommunityService(pg)
+        captured = {}
+
+        def tap(receipt, damage):
+            captured["damage"] = damage
+
+        service.explorer.add_update_hook(tap)
+        service.apply_updates(updates)
+        return captured["damage"]
+
+    def test_no_damage_information_over_approximates(self):
+        assert SubscriptionMatcher.is_affected(frozenset({1}), False, "q", None)
+
+    def test_full_damage_over_approximates(self):
+        damage = BatchDamage(full=True)
+        assert SubscriptionMatcher.is_affected(frozenset({1}), False, "q", damage)
+
+    def test_sensitive_subscription_always_matches(self):
+        damage = BatchDamage(dirty_labels=frozenset({9}))
+        assert SubscriptionMatcher.is_affected(frozenset({1}), True, "q", damage)
+
+    def test_empty_footprint_always_matches(self):
+        damage = BatchDamage(dirty_labels=frozenset({9}))
+        assert SubscriptionMatcher.is_affected(frozenset(), False, "q", damage)
+
+    def test_query_vertex_touched_matches(self):
+        damage = BatchDamage(dirty_labels=frozenset({9}), touched=frozenset({"q"}))
+        assert SubscriptionMatcher.is_affected(frozenset({1}), False, "q", damage)
+
+    def test_query_vertex_removed_matches(self):
+        damage = BatchDamage(dirty_labels=frozenset({9}), removed=frozenset({"q"}))
+        assert SubscriptionMatcher.is_affected(frozenset({1}), False, "q", damage)
+
+    def test_disjoint_labels_skip(self):
+        damage = BatchDamage(
+            dirty_labels=frozenset({9}), touched=frozenset({"x", "y"})
+        )
+        assert not SubscriptionMatcher.is_affected(
+            frozenset({1, 2}), False, "q", damage
+        )
+
+    def test_intersecting_labels_match(self):
+        damage = BatchDamage(dirty_labels=frozenset({2, 9}))
+        assert SubscriptionMatcher.is_affected(frozenset({1, 2}), False, "q", damage)
+
+    def test_decide_counts_selectivity(self):
+        matcher = SubscriptionMatcher()
+        assert matcher.selectivity == 1.0  # no decisions yet: pessimistic
+        damage = BatchDamage(dirty_labels=frozenset({9}))
+        assert not matcher.decide(frozenset({1}), False, "q", damage)
+        assert matcher.decide(frozenset({9}), False, "q", damage)
+        assert matcher.decisions == 2
+        assert matcher.affected == 1
+        assert matcher.selectivity == 0.5
+        assert matcher.stats()["selectivity"] == 0.5
+
+    def test_real_damage_from_engine_batch(self):
+        """Edits inside the F/G/H triangle dirty only the labels both
+        endpoints share — which never include the CM branch."""
+        pg = fig1_profiled_graph()
+        tax = pg.taxonomy
+        damage = self._damage(
+            pg, [{"op": "remove_edge", "u": "F", "v": "G"}]
+        )
+        assert not damage.full
+        cm_branch = {tax.id_of("CM"), tax.id_of("ML"), tax.id_of("AI")}
+        assert damage.dirty_labels.isdisjoint(cm_branch)
+        # The B-side subscription's root-free footprint misses the batch.
+        footprint = pg.labels("B") - {tax.root}
+        assert not SubscriptionMatcher.is_affected(footprint, False, "B", damage)
+
+
+# ---------------------------------------------------------------------------
+# log
+# ---------------------------------------------------------------------------
+class TestLog:
+    def test_roundtrip(self, tmp_path):
+        log = SubscriptionLog(tmp_path / "subs.jsonl")
+        log.append({"op": "register", "subscription": {"id": "s1", "vertex": "B"}})
+        log.append({"op": "diff", "diff": {"event_id": 2}})
+        log.close()
+        entries = list(SubscriptionLog.iter_entries(tmp_path / "subs.jsonl"))
+        assert [e["op"] for e in entries] == ["register", "diff"]
+        assert log.entries_appended == 2
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(SubscriptionLog.iter_entries(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "subs.jsonl"
+        log = SubscriptionLog(path)
+        log.append({"op": "register", "subscription": {}})
+        log.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "diff", "di')  # the write the crash tore
+        entries = list(SubscriptionLog.iter_entries(path))
+        assert [e["op"] for e in entries] == ["register"]
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        path = tmp_path / "subs.jsonl"
+        path.write_text('not json\n{"op": "diff"}\n', encoding="utf-8")
+        with pytest.raises(SubscriptionLogError):
+            list(SubscriptionLog.iter_entries(path))
+
+    def test_entry_without_op_raises(self, tmp_path):
+        path = tmp_path / "subs.jsonl"
+        path.write_text('{"noop": 1}\n{"op": "diff"}\n', encoding="utf-8")
+        with pytest.raises(SubscriptionLogError):
+            list(SubscriptionLog.iter_entries(path))
+
+    def test_compact_replaces_atomically(self, tmp_path):
+        path = tmp_path / "subs.jsonl"
+        log = SubscriptionLog(path)
+        for i in range(5):
+            log.append({"op": "diff", "diff": {"event_id": i + 1}})
+        log.compact([{"op": "register", "subscription": {"id": "s"}}])
+        log.append({"op": "diff", "diff": {"event_id": 99}})
+        log.close()
+        entries = list(SubscriptionLog.iter_entries(path))
+        assert [e["op"] for e in entries] == ["register", "diff"]
+        assert not path.with_name(path.name + ".tmp").exists()
+
+
+# ---------------------------------------------------------------------------
+# wire types
+# ---------------------------------------------------------------------------
+class TestWireTypes:
+    def test_subscription_new_assigns_id(self):
+        sub = Subscription.new("B", k=2)
+        assert sub.id
+        assert Subscription.from_dict(sub.to_dict()) == sub
+
+    def test_subscription_normalizes_method(self):
+        assert Subscription.new("B", method="ADV-P").method == "adv-P"
+
+    def test_subscription_rejects_unknown_fields(self):
+        with pytest.raises(InvalidInputError):
+            Subscription.from_dict({"vertex": "B", "frequency": "hourly"})
+
+    def test_subscription_requires_vertex(self):
+        with pytest.raises(InvalidInputError):
+            Subscription.from_dict({"k": 2})
+
+    def test_subscription_rejects_bad_k(self):
+        with pytest.raises(InvalidInputError):
+            Subscription.new("B", k=-1)
+        with pytest.raises(InvalidInputError):
+            Subscription.new("B", k=True)
+
+    def test_diff_apply_composes(self):
+        base = frozenset({"A", "B"})
+        diff = CommunityDiff(
+            subscription_id="s", event_id=2, graph_version=3,
+            joined=("C",), left=("A",),
+        )
+        assert diff.apply_to(base) == frozenset({"B", "C"})
+
+    def test_reset_diff_replaces(self):
+        diff = CommunityDiff(
+            subscription_id="s", event_id=1, graph_version=0,
+            joined=("X", "Y"), reset=True,
+        )
+        assert diff.apply_to(frozenset({"A"})) == frozenset({"X", "Y"})
+
+    def test_reset_with_left_rejected(self):
+        with pytest.raises(InvalidInputError):
+            CommunityDiff(
+                subscription_id="s", event_id=1, graph_version=0,
+                left=("A",), reset=True,
+            )
+
+    def test_diff_roundtrip(self):
+        diff = CommunityDiff(
+            subscription_id="s", event_id=4, graph_version=7,
+            joined=("Z", "A"), left=("B",),
+        )
+        again = CommunityDiff.from_dict(json.loads(json.dumps(diff.to_dict())))
+        assert again == diff
+        assert again.joined == ("A", "Z")  # deterministic wire order
+
+
+# ---------------------------------------------------------------------------
+# manager
+# ---------------------------------------------------------------------------
+class TestManager:
+    def test_register_snapshot_matches_recompute(self):
+        service = _service()
+        manager = SubscriptionManager(service)
+        snap = manager.register(Subscription.new("B", k=2))
+        assert snap.reset and snap.event_id == 1
+        assert frozenset(snap.joined) == _members(service, "B", k=2)
+        assert manager.members(snap.subscription_id) == frozenset(snap.joined)
+        manager.close()
+
+    def test_selective_reevaluation_across_partitions(self):
+        """Edits confined to the F/G/H triangle must not re-run B's query."""
+        service = _service()
+        manager = SubscriptionManager(service)
+        sub = manager.register(Subscription.new("B", k=2))
+        service.apply_updates([{"op": "remove_edge", "u": "F", "v": "G"}])
+        stats = manager.stats()
+        assert stats["last_batch"] == {"subscriptions": 1, "reevaluated": 0}
+        # An edit inside B's partition does re-evaluate (and may diff).
+        service.apply_updates([{"op": "remove_edge", "u": "B", "v": "C"}])
+        stats = manager.stats()
+        assert stats["last_batch"]["reevaluated"] == 1
+        assert manager.members(sub.subscription_id) == _members(service, "B", k=2)
+        manager.close()
+
+    def test_diff_emitted_when_membership_changes(self):
+        service = _service()
+        manager = SubscriptionManager(service)
+        sub_id = manager.register(Subscription.new("B", k=2)).subscription_id
+        before = manager.members(sub_id)
+        service.apply_updates(
+            [
+                {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+                {"op": "add_edge", "u": "Z", "v": "B"},
+                {"op": "add_edge", "u": "Z", "v": "C"},
+                {"op": "add_edge", "u": "Z", "v": "D"},
+            ]
+        )
+        events = manager.events_since(sub_id, last_event_id=1)
+        assert len(events) == 1
+        diff = events[0]
+        assert not diff.reset
+        assert diff.event_id == 2
+        assert diff.graph_version == service.pg.version
+        assert diff.apply_to(before) == _members(service, "B", k=2)
+        manager.close()
+
+    def test_events_since_caught_up_and_gap(self):
+        service = _service()
+        manager = SubscriptionManager(service, event_log_size=2)
+        sub_id = manager.register(Subscription.new("B", k=2)).subscription_id
+        assert manager.events_since(sub_id, last_event_id=1) == []
+        for i in range(4):  # churn Z in and out: 4 diffs, window keeps 2
+            if i % 2 == 0:
+                service.apply_updates(
+                    [
+                        {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+                        {"op": "add_edge", "u": "Z", "v": "B"},
+                        {"op": "add_edge", "u": "Z", "v": "C"},
+                        {"op": "add_edge", "u": "Z", "v": "D"},
+                    ]
+                )
+            else:
+                service.apply_updates([{"op": "remove_vertex", "u": "Z"}])
+        tail = manager.events_since(sub_id, last_event_id=4)
+        assert [d.event_id for d in tail] == [5]
+        # Cursor 1 predates the retention window: synthetic reset.
+        recovered = manager.events_since(sub_id, last_event_id=1)
+        assert len(recovered) == 1
+        assert recovered[0].reset
+        assert frozenset(recovered[0].joined) == manager.members(sub_id)
+        manager.close()
+
+    def test_unknown_subscription_raises(self):
+        manager = SubscriptionManager(_service())
+        with pytest.raises(SubscriptionNotFoundError):
+            manager.events_since("nope", last_event_id=0)
+        with pytest.raises(SubscriptionNotFoundError):
+            manager.members("nope")
+        assert manager.unregister("nope") is False
+        manager.close()
+
+    def test_unregister_forgets(self):
+        manager = SubscriptionManager(_service())
+        sub_id = manager.register(Subscription.new("B", k=2)).subscription_id
+        assert len(manager) == 1
+        assert manager.unregister(sub_id) is True
+        assert len(manager) == 0
+        with pytest.raises(SubscriptionNotFoundError):
+            manager.get(sub_id)
+        manager.close()
+
+    def test_poll_timeout_returns_empty(self):
+        manager = SubscriptionManager(_service())
+        sub_id = manager.register(Subscription.new("B", k=2)).subscription_id
+        assert manager.poll(sub_id, last_event_id=1, timeout=0.05) == []
+        manager.close()
+
+    def test_poll_returns_backlog_immediately(self):
+        manager = SubscriptionManager(_service())
+        sub_id = manager.register(Subscription.new("B", k=2)).subscription_id
+        events = manager.poll(sub_id, last_event_id=0, timeout=0.0)
+        assert len(events) == 1 and events[0].reset
+
+    def test_consumer_receives_pushed_diff(self):
+        service = _service()
+        manager = SubscriptionManager(service)
+        sub_id = manager.register(Subscription.new("B", k=2)).subscription_id
+        with manager.consumer(sub_id, last_event_id=1) as consumer:
+            service.apply_updates(
+                [
+                    {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+                    {"op": "add_edge", "u": "Z", "v": "B"},
+                    {"op": "add_edge", "u": "Z", "v": "C"},
+                    {"op": "add_edge", "u": "Z", "v": "D"},
+                ]
+            )
+            batch = consumer.next_batch(timeout=2.0)
+            assert batch and batch[0].event_id == 2
+            assert "Z" in batch[0].joined
+        manager.close()
+
+    def test_slow_consumer_evicted(self):
+        service = _service()
+        manager = SubscriptionManager(service, consumer_queue_size=1)
+        sub_id = manager.register(Subscription.new("B", k=2)).subscription_id
+        consumer = manager.consumer(sub_id, last_event_id=1)
+        for i in range(3):  # never drained: overflows the 1-slot queue
+            if i % 2 == 0:
+                service.apply_updates(
+                    [
+                        {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+                        {"op": "add_edge", "u": "Z", "v": "B"},
+                        {"op": "add_edge", "u": "Z", "v": "C"},
+                        {"op": "add_edge", "u": "Z", "v": "D"},
+                    ]
+                )
+            else:
+                service.apply_updates([{"op": "remove_vertex", "u": "Z"}])
+        with pytest.raises(SlowConsumerError):
+            consumer.next_batch(timeout=0.1)
+        assert manager.stats()["evictions"] == 1
+        # The subscription survives eviction; only the consumer died.
+        assert manager.members(sub_id) is not None
+        manager.close()
+
+    def test_durable_restart_replays_and_catches_up(self, tmp_path):
+        log_path = tmp_path / "subscriptions.jsonl"
+        service = _service()
+        manager = SubscriptionManager(service, log_path=log_path)
+        sub = Subscription.new("B", k=2)
+        manager.register(sub)
+        service.apply_updates(
+            [
+                {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+                {"op": "add_edge", "u": "Z", "v": "B"},
+                {"op": "add_edge", "u": "Z", "v": "C"},
+                {"op": "add_edge", "u": "Z", "v": "D"},
+            ]
+        )
+        members = manager.members(sub.id)
+        manager.close()
+        # Same log + a service whose graph moved while nobody watched:
+        # replay restores the subscription, catch_up() emits the delta.
+        service2 = _service()
+        service2.apply_updates(
+            [
+                {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+                {"op": "add_edge", "u": "Z", "v": "B"},
+                {"op": "add_edge", "u": "Z", "v": "C"},
+                {"op": "add_edge", "u": "Z", "v": "D"},
+                {"op": "remove_edge", "u": "B", "v": "C"},
+            ]
+        )
+        manager2 = SubscriptionManager(service2, log_path=log_path)
+        assert [s.id for s in manager2.subscriptions()] == [sub.id]
+        assert manager2.members(sub.id) == _members(service2, "B", k=2)
+        events = manager2.events_since(sub.id, last_event_id=2)
+        composed = members
+        for diff in events:
+            assert diff.event_id >= 3
+            composed = diff.apply_to(composed)
+        assert composed == _members(service2, "B", k=2)
+        manager2.close()
+
+    def test_compact_log_shrinks_to_registrations(self, tmp_path):
+        log_path = tmp_path / "subscriptions.jsonl"
+        service = _service()
+        manager = SubscriptionManager(service, log_path=log_path)
+        sub = Subscription.new("B", k=2)
+        manager.register(sub)
+        gone = Subscription.new("D", k=2)
+        manager.register(gone)
+        manager.unregister(gone.id)
+        service.apply_updates(
+            [
+                {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+                {"op": "add_edge", "u": "Z", "v": "B"},
+                {"op": "add_edge", "u": "Z", "v": "C"},
+                {"op": "add_edge", "u": "Z", "v": "D"},
+            ]
+        )
+        manager.compact_log()
+        entries = list(SubscriptionLog.iter_entries(log_path))
+        assert [e["op"] for e in entries] == ["register"]
+        snap = CommunityDiff.from_dict(entries[0]["snapshot"])
+        assert snap.reset and frozenset(snap.joined) == manager.members(sub.id)
+        manager.close()
+        # The compacted log boots a manager in the same state.
+        manager2 = SubscriptionManager(_service_with_z(), log_path=log_path)
+        assert manager2.members(sub.id) == frozenset(snap.joined)
+        manager2.close()
+
+    def test_disconnect_consumers_keeps_journal_live(self, tmp_path):
+        """Drain phase 1: streams end, but in-flight writes still journal."""
+        log_path = tmp_path / "subscriptions.jsonl"
+        service = _service()
+        manager = SubscriptionManager(service, log_path=log_path)
+        sub_id = manager.register(Subscription.new("B", k=2)).subscription_id
+        consumer = manager.consumer(sub_id, last_event_id=1)
+        manager.disconnect_consumers()
+        assert consumer.next_batch(timeout=0.1) is None  # stream over
+        # A write that was in flight during the drain still journals.
+        service.apply_updates(
+            [
+                {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+                {"op": "add_edge", "u": "Z", "v": "B"},
+                {"op": "add_edge", "u": "Z", "v": "C"},
+                {"op": "add_edge", "u": "Z", "v": "D"},
+            ]
+        )
+        ops = [e["op"] for e in SubscriptionLog.iter_entries(log_path)]
+        assert ops == ["register", "diff"]
+        # New consumers during the drain get the backlog, then end.
+        late = manager.consumer(sub_id, last_event_id=1)
+        batch = late.next_batch(timeout=0.1)
+        assert batch and batch[0].event_id == 2
+        assert late.next_batch(timeout=0.1) is None
+        manager.close()
+
+
+def _service_with_z() -> CommunityService:
+    """fig1 plus the Z vertex the durable-restart tests add."""
+    service = _service()
+    service.apply_updates(
+        [
+            {"op": "add_vertex", "u": "Z", "labels": ["ML", "AI"]},
+            {"op": "add_edge", "u": "Z", "v": "B"},
+            {"op": "add_edge", "u": "Z", "v": "C"},
+            {"op": "add_edge", "u": "Z", "v": "D"},
+        ]
+    )
+    return service
+
+
+# ---------------------------------------------------------------------------
+# HTTP routes (in-process, no socket)
+# ---------------------------------------------------------------------------
+class TestRoutes:
+    @pytest.fixture()
+    def gateway(self):
+        from repro.server.gateway import CommunityGateway
+
+        gw = CommunityGateway(_service(), coalesce=False)
+        try:
+            yield gw
+        finally:
+            gw.close()
+
+    def _call(self, gateway, method, path, payload=None):
+        from repro.server.app import handle_request
+
+        body = b"" if payload is None else json.dumps(payload).encode()
+        response = handle_request(gateway, method, path, body)
+        decoded = json.loads(response.body) if response.body else {}
+        return response.status, decoded
+
+    def test_subscribe_roundtrip(self, gateway):
+        status, decoded = self._call(
+            gateway, "POST", "/subscribe", {"vertex": "B", "k": 2}
+        )
+        assert status == 200
+        sub = Subscription.from_dict(decoded["subscription"])
+        snap = CommunityDiff.from_dict(decoded["snapshot"])
+        assert snap.reset and snap.subscription_id == sub.id
+        status, decoded = self._call(
+            gateway, "POST", "/subscribe/poll",
+            {"id": sub.id, "last_event_id": 0, "timeout": 0},
+        )
+        assert status == 200
+        assert decoded["count"] == 1
+        assert decoded["events"][0]["reset"] is True
+        status, _ = self._call(gateway, "POST", "/unsubscribe", {"id": sub.id})
+        assert status == 200
+
+    def test_subscribe_rejects_unknown_fields(self, gateway):
+        status, decoded = self._call(
+            gateway, "POST", "/subscribe", {"vertex": "B", "cadence": "fast"}
+        )
+        assert status == 400
+        assert decoded["error"]["type"] == "invalid_input"
+
+    def test_unsubscribe_unknown_is_404(self, gateway):
+        status, decoded = self._call(gateway, "POST", "/unsubscribe", {"id": "nope"})
+        assert status == 404
+        assert decoded["error"]["type"] == "subscription_not_found"
+
+    def test_poll_unknown_is_404(self, gateway):
+        status, _ = self._call(
+            gateway, "POST", "/subscribe/poll", {"id": "nope", "last_event_id": 0}
+        )
+        assert status == 404
+
+    def test_poll_rejects_bad_cursor(self, gateway):
+        status, _ = self._call(
+            gateway, "POST", "/subscribe/poll", {"id": "s", "last_event_id": -1}
+        )
+        assert status == 400
+
+    def test_stream_unknown_is_404(self, gateway):
+        status, _ = self._call(
+            gateway, "POST", "/subscribe/stream", {"id": "nope"}
+        )
+        assert status == 404
+
+    def test_health_and_stats_report_subscriptions(self, gateway):
+        self._call(gateway, "POST", "/subscribe", {"vertex": "B", "k": 2})
+        assert gateway.health()["subscriptions"] == 1
+        stats = gateway.stats()["subscriptions"]
+        assert stats["subscriptions"] == 1
+        assert stats["durable"] is False
